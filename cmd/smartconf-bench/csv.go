@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"smartconf/internal/experiments"
+)
+
+// writeCSVs exports the time series behind Figures 6–8 as CSV files, for
+// replotting with any tool.
+func writeCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	f6 := experiments.BuildFigure6()
+	if err := writeResultSeries(dir, "fig6_smartconf", f6.SmartConf); err != nil {
+		return err
+	}
+	if err := writeResultSeries(dir, "fig6_static", f6.Static); err != nil {
+		return err
+	}
+
+	f7 := experiments.BuildFigure7()
+	for name, r := range map[string]experiments.Result{
+		"fig7_smartconf":     f7.SmartConf,
+		"fig7_singlepole":    f7.SinglePole,
+		"fig7_novirtualgoal": f7.NoVirtualGoal,
+	} {
+		if err := writeResultSeries(dir, name, r); err != nil {
+			return err
+		}
+	}
+
+	f8 := experiments.BuildFigure8()
+	for name, s := range map[string]experiments.Series{
+		"fig8_memory":    f8.Mem,
+		"fig8_req_knob":  f8.ReqKnob,
+		"fig8_resp_knob": f8.RespKnob,
+	} {
+		if err := writeSeries(filepath.Join(dir, name+".csv"), s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeResultSeries(dir, prefix string, r experiments.Result) error {
+	for _, s := range r.Series {
+		name := fmt.Sprintf("%s_%s.csv", prefix, s.Name)
+		if err := writeSeries(filepath.Join(dir, name), s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeries(path string, s experiments.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "seconds,%s\n", s.Name)
+	for _, p := range s.Points {
+		fmt.Fprintf(f, "%.3f,%g\n", p.T.Seconds(), p.V)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Command smartconf-bench regenerates every table and figure of the paper's
+// evaluation on the simulated substrates and prints them to stdout.
+//
+// Usage:
+//
+//	smartconf-bench              # everything
+//	smartconf-bench -only fig5   # one artifact: table2..table7, fig5..fig8
+//	smartconf-bench -list        # list artifact ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"smartconf/internal/experiments"
+	"smartconf/internal/study"
+)
+
+var artifacts = map[string]func() (string, error){
+	"table2": func() (string, error) { return study.BuildTable2().Render(), nil },
+	"table3": func() (string, error) { return study.BuildTable3().Render(), nil },
+	"table4": func() (string, error) { return study.BuildTable4().Render(), nil },
+	"table5": func() (string, error) { return study.BuildTable5().Render(), nil },
+	"table6": func() (string, error) { return experiments.RenderTable6(), nil },
+	"table7": experiments.RenderTable7,
+	"fig5": func() (string, error) {
+		return experiments.RenderFigure5(experiments.BuildFigure5()), nil
+	},
+	"fig6": func() (string, error) {
+		return experiments.RenderFigure6(experiments.BuildFigure6()), nil
+	},
+	"fig7": func() (string, error) {
+		return experiments.RenderFigure7(experiments.BuildFigure7()), nil
+	},
+	"fig8": func() (string, error) {
+		return experiments.RenderFigure8(experiments.BuildFigure8()), nil
+	},
+	"abl-pole": func() (string, error) {
+		return experiments.RenderAblationPoles(experiments.AblationPoles()), nil
+	},
+	"abl-margin": func() (string, error) {
+		return experiments.RenderAblationMargins(experiments.AblationVirtualGoalMargin()), nil
+	},
+	"abl-interact": func() (string, error) {
+		return experiments.RenderAblationInteraction(experiments.AblationInteractionFactor()), nil
+	},
+	"abl-adaptive": func() (string, error) {
+		return experiments.RenderAblationAdaptive(experiments.AblationAdaptiveModel()), nil
+	},
+	"abl-profiling": func() (string, error) {
+		return experiments.RenderAblationProfilingDepth(experiments.AblationProfilingDepth()), nil
+	},
+	"robustness": func() (string, error) {
+		return experiments.RenderRobustness(experiments.RunRobustnessSweep()), nil
+	},
+	"abl-aimd": func() (string, error) {
+		return experiments.RenderBackendComparison(experiments.AblationBackendAIMD()), nil
+	},
+	"ext-sla": func() (string, error) {
+		return experiments.RenderSLA(experiments.BuildSLAComparison()), nil
+	},
+	"ext-dist": func() (string, error) {
+		return experiments.RenderDistributed(experiments.RunDistributedHB3813(4)), nil
+	},
+}
+
+var order = []string{
+	"table2", "table3", "table4", "table5",
+	"table6", "fig5", "fig6", "fig7", "fig8", "table7",
+	"abl-pole", "abl-margin", "abl-interact", "abl-adaptive", "abl-profiling", "robustness", "abl-aimd", "ext-sla", "ext-dist",
+}
+
+var titles = map[string]string{
+	"table2":        "Table 2: empirical study suite",
+	"table3":        "Table 3: types of PerfConf patches",
+	"table4":        "Table 4: how PerfConfs affect performance",
+	"table5":        "Table 5: how to set PerfConfs",
+	"table6":        "Table 6: benchmark suite",
+	"fig5":          "Figure 5: trade-off comparison",
+	"fig6":          "Figure 6: HB3813 case study",
+	"fig7":          "Figure 7: controller ablations",
+	"fig8":          "Figure 8: interacting PerfConfs",
+	"table7":        "Table 7: integration effort",
+	"abl-pole":      "Ablation: pole sensitivity (beyond the paper)",
+	"abl-margin":    "Ablation: virtual-goal margin (beyond the paper)",
+	"abl-interact":  "Ablation: interaction factor (beyond the paper)",
+	"abl-adaptive":  "Ablation: adaptive model, the paper's §7 direction",
+	"abl-profiling": "Ablation: profiling depth (§6.1 robustness claim)",
+	"robustness":    "Robustness: one controller across 54 unseen workloads (§6.1)",
+	"abl-aimd":      "Baseline: SmartConf vs hand-tuned AIMD heuristic",
+	"ext-sla":       "Extension: p99-latency SLA goal",
+	"ext-dist":      "Extension: per-node controllers in a 4-node cluster",
+}
+
+func main() {
+	only := flag.String("only", "", "render a single artifact (see -list)")
+	list := flag.Bool("list", false, "list artifact ids and exit")
+	csvDir := flag.String("csv", "", "also write the figure time series as CSV files into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote figure series CSVs to %s\n", *csvDir)
+	}
+
+	if *list {
+		ids := make([]string, 0, len(artifacts))
+		for id := range artifacts {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("%-8s %s\n", id, titles[id])
+		}
+		return
+	}
+
+	ids := order
+	if *only != "" {
+		if _, ok := artifacts[*only]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown artifact %q; try -list\n", *only)
+			os.Exit(2)
+		}
+		ids = []string{*only}
+	}
+	for _, id := range ids {
+		fmt.Printf("════════ %s ════════\n\n", titles[id])
+		out, err := artifacts[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,71 @@
+// Command smartconf-profile runs the profiling campaign for one benchmark
+// issue and writes the resulting "<conf>.SmartConf.sys" sample file — the
+// §5.5 artifact a SmartConf-equipped system synthesizes its controller from.
+//
+// Usage:
+//
+//	smartconf-profile -issue HB3813 -out ./profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"smartconf/internal/core"
+	"smartconf/internal/experiments"
+	"smartconf/internal/sysfile"
+)
+
+var profilers = map[string]struct {
+	conf string
+	run  func() core.Profile
+}{
+	"CA6059": {"memtable_total_space_in_mb", experiments.ProfileCA6059},
+	"HB2149": {"global.memstore.lowerLimit", experiments.ProfileHB2149},
+	"HB3813": {"ipc.server.max.queue.size", experiments.ProfileHB3813},
+	"HB6728": {"ipc.server.response.queue.maxsize", experiments.ProfileHB6728},
+	"HD4995": {"content-summary.limit", experiments.ProfileHD4995},
+	"MR2820": {"local.dir.minspacestart", experiments.ProfileMR2820},
+}
+
+func main() {
+	issue := flag.String("issue", "", "benchmark issue id (CA6059, HB2149, HB3813, HB6728, HD4995, MR2820)")
+	out := flag.String("out", ".", "directory for the <conf>.SmartConf.sys file")
+	flag.Parse()
+
+	p, ok := profilers[*issue]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown or missing -issue %q; choose one of:\n", *issue)
+		for id, pr := range profilers {
+			fmt.Fprintf(os.Stderr, "  %s (%s)\n", id, pr.conf)
+		}
+		os.Exit(2)
+	}
+
+	profile := p.run()
+	model, err := profile.Fit()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profiling %s: %v\n", *issue, err)
+		os.Exit(1)
+	}
+	path := filepath.Join(*out, p.conf+".SmartConf.sys")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := sysfile.EncodeProfile(f, profile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("profiled %s (%s): %d samples over %d settings\n",
+		*issue, p.conf, profile.TotalSamples(), len(profile.Settings))
+	fmt.Printf("  model: %v\n", model)
+	fmt.Printf("  λ = %.4f  Δ = %.3f  pole = %.3f\n",
+		profile.Lambda(), profile.Delta(), core.PoleFromDelta(profile.Delta()))
+	fmt.Printf("  wrote %s\n", path)
+}

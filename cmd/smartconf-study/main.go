@@ -1,0 +1,54 @@
+// Command smartconf-study regenerates the paper's empirical-study tables
+// (Tables 2–5 and the §2.2.1 post statistics) from the categorized dataset.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"smartconf/internal/study"
+)
+
+func main() {
+	issues := flag.Bool("issues", false, "list the categorized issue dataset instead of the tables")
+	flag.Parse()
+
+	if *issues {
+		listIssues()
+		return
+	}
+	fmt.Println("Empirical study of performance-sensitive configurations (paper §2)")
+	fmt.Println()
+	fmt.Println("Table 2: study suite")
+	fmt.Println(study.BuildTable2().Render())
+	fmt.Println("Table 3: types of PerfConf patches")
+	fmt.Println(study.BuildTable3().Render())
+	fmt.Println("Table 4: how a PerfConf affects performance")
+	fmt.Println(study.BuildTable4().Render())
+	fmt.Println("Table 5: how to set PerfConfs")
+	fmt.Println(study.BuildTable5().Render())
+
+	s := study.BuildPostStats()
+	fmt.Printf("§2.2.1 posts: %d total; %d (%.0f%%) ask how to set a PerfConf; %d (%.0f%%) concern OOM\n",
+		s.Total,
+		s.AsksHowToSet, 100*float64(s.AsksHowToSet)/float64(s.Total),
+		s.MentionsOOM, 100*float64(s.MentionsOOM)/float64(s.Total))
+}
+
+func listIssues() {
+	fmt.Println("Categorized PerfConf issue dataset (aggregates match the paper's Tables 2-5;")
+	fmt.Println("synthetic rows carry representative configuration names)")
+	fmt.Println()
+	for _, i := range study.Issues() {
+		flags := "always-on"
+		if i.Conditional {
+			flags = "conditional"
+		}
+		kind := "direct"
+		if i.Indirect {
+			kind = "indirect"
+		}
+		fmt.Printf("%-12s [%s] %s, %s, %s\n", i.ID, i.System.Abbrev(), i.Category, flags, kind)
+		fmt.Printf("             %s\n", i.Title)
+	}
+}

@@ -1,0 +1,106 @@
+package smartconf_test
+
+import (
+	"fmt"
+	"strings"
+
+	"smartconf"
+)
+
+// ExampleNew shows the minimal direct-configuration flow: profile, declare
+// the goal, then call the setPerf/getConf pair at every use site.
+func ExampleNew() {
+	// The plant: block time = 4 + 4·fraction seconds (deterministic here).
+	blockTime := func(fraction float64) float64 { return 4 + 4*fraction }
+
+	profile, _ := smartconf.DefaultPlan(0.2, 0.8, 4).Run(func(setting float64) (float64, error) {
+		return blockTime(setting), nil
+	})
+	sc, err := smartconf.New(smartconf.Spec{
+		Name:   "memstore.flush.fraction",
+		Metric: "write_block_time",
+		Goal:   6.0, // seconds, soft
+		Min:    0.01, Max: 1,
+	}, profile)
+	if err != nil {
+		panic(err)
+	}
+
+	fraction := 0.1
+	for i := 0; i < 5; i++ {
+		sc.SetPerf(blockTime(fraction))
+		fraction = sc.Value()
+	}
+	fmt.Printf("fraction %.2f → block %.1fs (goal 6.0s)\n", fraction, blockTime(fraction))
+	// Output: fraction 0.50 → block 6.0s (goal 6.0s)
+}
+
+// ExampleNewIndirect shows a threshold configuration: the controller steers
+// the deputy variable (queue length) and the knob bounds it.
+func ExampleNewIndirect() {
+	heap := func(queueLen float64) float64 { return 100 + 2*queueLen } // MB
+
+	profile := smartconf.NewProfile().
+		Add(40, heap(40), heap(40)).
+		Add(80, heap(80), heap(80)).
+		Add(120, heap(120), heap(120))
+	ic, err := smartconf.NewIndirect(smartconf.Spec{
+		Name:   "max.queue.size",
+		Metric: "memory_consumption",
+		Goal:   500, // MB
+		Min:    0, Max: 10_000,
+	}, profile, nil)
+	if err != nil {
+		panic(err)
+	}
+
+	queueLen := 60.0
+	ic.SetPerf(heap(queueLen), queueLen)
+	fmt.Printf("max.queue.size → %d (queue may grow to the 500MB budget)\n", ic.Conf())
+	// Output: max.queue.size → 200 (queue may grow to the 500MB budget)
+}
+
+// ExampleNewManager shows the file-driven workflow: the developer-owned
+// system file, the user-owned goals file, and a profile source.
+func ExampleNewManager() {
+	sys := `
+max.queue.size @ memory_consumption
+max.queue.size = 0
+max.queue.size.max = 5000
+`
+	goals := `
+memory_consumption.goal = 500
+memory_consumption.goal.hard = 1
+`
+	mgr, err := smartconf.NewManager(strings.NewReader(sys), strings.NewReader(goals),
+		smartconf.WithProfileSource(func(string) (*smartconf.Profile, error) {
+			return smartconf.NewProfile().
+				Add(40, 180, 182).Add(80, 260, 258).Add(120, 340, 342), nil
+		}))
+	if err != nil {
+		panic(err)
+	}
+	sc, err := mgr.IndirectConf("max.queue.size", nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("goal %.0f, hard constraint with virtual goal below it: %v\n",
+		sc.Goal(), sc.VirtualGoal() < sc.Goal())
+	// Output: goal 500, hard constraint with virtual goal below it: true
+}
+
+// ExampleProfile_Diagnose shows the §6.6 hazard check: a U-shaped plant is
+// flagged as out of SmartConf's scope.
+func ExampleProfile_Diagnose() {
+	uShaped := smartconf.NewProfile().
+		Add(1, 90, 90, 90).
+		Add(2, 40, 40, 40).
+		Add(3, 35, 35, 35).
+		Add(4, 80, 80, 80)
+	for _, warning := range uShaped.Diagnose() {
+		fmt.Println(strings.SplitN(warning, ":", 2)[0])
+	}
+	// Output:
+	// non-monotonic
+	// weak-fit
+}

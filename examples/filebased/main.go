@@ -1,0 +1,136 @@
+// filebased: the complete §5.5 lifecycle through the Manager and SmartConf's
+// on-disk formats — the workflow a deployed system follows across restarts:
+//
+//  1. First launch, profiling enabled in SmartConf.sys: the configuration
+//     is pinned at a few settings while SetPerf records samples; the Manager
+//     flushes them to "<conf>.SmartConf.sys".
+//  2. Second launch, profiling disabled: the Manager reads the sample file,
+//     synthesizes the controller, and the knob adjusts itself.
+//
+// Run with: go run ./examples/filebased
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"smartconf"
+)
+
+const mb = float64(1 << 20)
+
+const sysTemplate = `
+/* SmartConf.sys — developer-owned */
+cache.size.limit @ memory_consumption
+cache.size.limit = 0
+cache.size.limit.max = 1000000
+%s
+`
+
+const goalsFile = `
+/* user-owned goals */
+memory_consumption.goal = 268435456  /* 256 MB */
+memory_consumption.goal.hard = 1
+`
+
+// cacheServer is the plant: heap = base + ~64 KB per cache entry.
+type cacheServer struct {
+	entries float64
+	limit   float64
+	rng     uint64
+}
+
+func (c *cacheServer) noise() float64 {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return (float64(c.rng%600)/100 - 3) * mb
+}
+
+func (c *cacheServer) heap() float64 { return 32*mb + c.entries*64*1024 + c.noise() }
+
+func (c *cacheServer) tick(inserted, evicted float64) {
+	c.entries += inserted
+	if c.entries > c.limit {
+		c.entries = c.limit
+	}
+	c.entries -= evicted
+	if c.entries < 0 {
+		c.entries = 0
+	}
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "smartconf-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// ----- First launch: profiling mode -----
+	fmt.Println("launch 1: profiling = 1 — the knob is pinned, samples are recorded")
+	mgr, err := smartconf.NewManager(
+		strings.NewReader(fmt.Sprintf(sysTemplate, "profiling = 1")),
+		strings.NewReader(goalsFile),
+	)
+	if err != nil {
+		panic(err)
+	}
+	sc, err := mgr.IndirectConf("cache.size.limit", nil)
+	if err != nil {
+		panic(err)
+	}
+	srv := &cacheServer{rng: 5}
+	for _, setting := range []float64{500, 1500, 2500, 3500} {
+		sc.PinValue(setting)
+		srv.limit = setting
+		for i := 0; i < 10; i++ {
+			srv.tick(setting, 50)
+			sc.SetPerf(srv.heap(), srv.entries) // recorded, not controlled
+		}
+	}
+	if err := mgr.FlushProfiles(dir); err != nil {
+		panic(err)
+	}
+	path := filepath.Join(dir, "cache.size.limit.SmartConf.sys")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  flushed %d sample lines to %s\n\n", strings.Count(string(data), "sample"), filepath.Base(path))
+
+	// ----- Second launch: control mode -----
+	fmt.Println("launch 2: profiling = 0 — the controller synthesizes from the file")
+	mgr2, err := smartconf.NewManager(
+		strings.NewReader(fmt.Sprintf(sysTemplate, "")),
+		strings.NewReader(goalsFile),
+		smartconf.WithProfileDir(dir),
+	)
+	if err != nil {
+		panic(err)
+	}
+	sc2, err := mgr2.IndirectConf("cache.size.limit", nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  goal %.0f MB, virtual goal %.0f MB, pole %.2f\n\n",
+		sc2.Goal()/mb, sc2.VirtualGoal()/mb, sc2.Pole())
+
+	srv2 := &cacheServer{rng: 5}
+	fmt.Printf("%6s %10s %10s %10s\n", "tick", "entries", "limit", "heap MB")
+	for tick := 1; tick <= 30; tick++ {
+		sc2.SetPerf(srv2.heap(), srv2.entries)
+		srv2.limit = float64(sc2.Conf())
+		srv2.tick(600, 100)
+		if tick%5 == 0 {
+			fmt.Printf("%6d %10.0f %10.0f %10.1f\n", tick, srv2.entries, srv2.limit, srv2.heap()/mb)
+		}
+		if srv2.heap() > 256*mb {
+			fmt.Println("!!! hard goal violated")
+		}
+	}
+	fmt.Println("\nthe cache filled to exactly the entries the 256 MB budget allows —")
+	fmt.Println("no one ever picked a number for cache.size.limit.")
+}

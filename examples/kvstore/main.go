@@ -1,0 +1,120 @@
+// kvstore: the CA6059 story — sizing a write buffer (memtable) under a hard
+// memory goal while another heap consumer grows underneath it.
+//
+// A static memtable threshold faces an impossible choice: size it for
+// today's quiet heap and it OOMs when the read cache warms up; size it for
+// the warmed-up cache and every quiet hour is wasted on needless flushes.
+// SmartConf shrinks the buffer exactly when — and only when — the cache
+// actually grows.
+//
+// Run with: go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+
+	"smartconf"
+)
+
+const (
+	mb       = float64(1 << 20)
+	heapCap  = 512 * mb
+	heapGoal = 480 * mb
+	baseHeap = 48 * mb
+)
+
+// store is the plant: heap = base + memtable + cache (+ wobble). Writes fill
+// the memtable; when it reaches the threshold it flushes (drains over a few
+// ticks, costing write latency while active).
+type store struct {
+	memtable  float64
+	flushing  float64
+	threshold float64 // the knob (memtable_total_space)
+	cache     float64
+	rng       uint64
+
+	flushes int
+	penalty int // ticks during which writes paid the flush penalty
+}
+
+func (st *store) noise() float64 {
+	st.rng ^= st.rng << 13
+	st.rng ^= st.rng >> 7
+	st.rng ^= st.rng << 17
+	return (float64(st.rng%800)/100 - 4) * mb
+}
+
+func (st *store) heap() float64 {
+	return baseHeap + st.memtable + st.flushing + st.cache + st.noise()
+}
+
+// tick ingests writeMB of writes and advances any flush by drainMB.
+func (st *store) tick(writeMB, drainMB float64) {
+	st.memtable += writeMB * mb
+	if st.flushing > 0 {
+		st.penalty++ // writes are slower while a flush runs
+		st.flushing -= drainMB * mb
+		if st.flushing < 0 {
+			st.flushing = 0
+		}
+	}
+	if st.flushing == 0 && st.memtable+st.flushing >= st.threshold/2 && st.memtable > 0 {
+		st.flushing = st.memtable // freeze and flush the active segment
+		st.memtable = 0
+		st.flushes++
+	}
+}
+
+func main() {
+	st := &store{rng: 99}
+
+	profile, err := smartconf.DefaultPlan(32*mb, 320*mb, 4).Run(func(setting float64) (float64, error) {
+		st.threshold = setting
+		st.tick(12, 48)
+		return st.heap(), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	sc, err := smartconf.NewIndirect(smartconf.Spec{
+		Name:   "memtable_total_space_in_mb",
+		Metric: "memory_consumption",
+		Goal:   heapGoal,
+		Hard:   true,
+		Min:    8 * mb, Max: heapCap,
+	}, profile, nil)
+	if err != nil {
+		panic(err)
+	}
+
+	*st = store{rng: 99}
+	fmt.Printf("goal %.0f MB (hard); virtual goal %.0f MB; pole %.2f\n\n",
+		heapGoal/mb, sc.VirtualGoal()/mb, sc.Pole())
+	fmt.Printf("%6s %10s %12s %12s %10s\n", "tick", "cache MB", "memtable MB", "threshold", "heap MB")
+
+	violations := 0
+	for tick := 1; tick <= 120; tick++ {
+		// Disturbance: from tick 40 the read cache warms toward 256 MB.
+		if tick > 40 && st.cache < 256*mb {
+			st.cache += 6 * mb
+		}
+		sc.SetPerf(st.heap(), st.memtable+st.flushing) // sensor + deputy
+		st.threshold = sc.Value()
+		st.tick(12, 48)
+		if st.heap() > heapCap {
+			fmt.Println("!!! OOM")
+			return
+		}
+		if st.heap() > heapGoal {
+			violations++
+		}
+		if tick%10 == 0 {
+			fmt.Printf("%6d %10.0f %12.0f %12.0f %10.0f\n",
+				tick, st.cache/mb, (st.memtable+st.flushing)/mb, st.threshold/mb, st.heap()/mb)
+		}
+	}
+	fmt.Printf("\n%d flushes, %d penalized ticks, %d goal excursions —\n",
+		st.flushes, st.penalty, violations)
+	fmt.Println("the memtable gave back exactly the heap the cache claimed, no OOM, no restart.")
+}

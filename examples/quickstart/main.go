@@ -1,0 +1,106 @@
+// Quickstart: bound a queue so memory stays under a hard limit.
+//
+// The toy server below queues incoming jobs; every queued job pins ~1 MB of
+// heap. The operator's requirement is "heap stays under 256 MB, hard" — but
+// nobody knows the right max-queue-length for every workload. SmartConf's
+// answer: profile briefly, declare the goal, and let a synthesized
+// controller move the knob.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"smartconf"
+)
+
+const (
+	mb       = float64(1 << 20)
+	heapGoal = 256 * mb
+	baseHeap = 64 * mb
+)
+
+// jobQueue is the plant: heap consumption is base + ~1 MB per queued job,
+// plus a fluctuating footprint from "everything else" in the process.
+type jobQueue struct {
+	len   float64
+	limit float64
+	rng   uint64
+}
+
+// noise is a deterministic ±8 MB wobble (a tiny xorshift PRNG so the example
+// has no dependencies and reproduces exactly).
+func (q *jobQueue) noise() float64 {
+	q.rng ^= q.rng << 13
+	q.rng ^= q.rng >> 7
+	q.rng ^= q.rng << 17
+	return (float64(q.rng%1600)/100 - 8) * mb
+}
+
+func (q *jobQueue) heapUsed() float64 { return baseHeap + q.len*mb + q.noise() }
+
+// step simulates one tick: `arrived` jobs try to enter (bounded by the
+// limit), `served` jobs leave.
+func (q *jobQueue) step(arrived, served float64) {
+	q.len += arrived
+	if q.len > q.limit {
+		q.len = q.limit
+	}
+	q.len -= served
+	if q.len < 0 {
+		q.len = 0
+	}
+}
+
+func main() {
+	// 1. Profile: pin the knob at a few settings and record the metric.
+	//    (In a real system this runs against the live plant; the paper's
+	//    default plan is 4 settings × 10 measurements.)
+	q := &jobQueue{rng: 42}
+	plan := smartconf.DefaultPlan(10, 160, 4)
+	profile, err := plan.Run(func(setting float64) (float64, error) {
+		q.limit = setting
+		q.step(setting+20, 5) // saturate the queue at this bound
+		return q.heapUsed(), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// 2. Declare the configuration: which metric it affects and the user's
+	//    goal. "Hard" engages the virtual goal + two-pole protection.
+	sc, err := smartconf.NewIndirect(smartconf.Spec{
+		Name:   "max.queue.size",
+		Metric: "heap_used",
+		Goal:   heapGoal,
+		Hard:   true,
+		Min:    0, Max: 10_000,
+	}, profile, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("synthesized controller: pole %.3f, virtual goal %.0f MB (goal %.0f MB)\n\n",
+		sc.Pole(), sc.VirtualGoal()/mb, heapGoal/mb)
+
+	// 3. Run: at every admission point, feed the sensor and read the knob —
+	//    the paper's setPerf/getConf pair. The workload surges mid-run; the
+	//    knob follows.
+	q.len, q.limit = 0, 0
+	fmt.Printf("%6s %12s %12s %12s\n", "tick", "arrivals", "heap MB", "limit")
+	for tick := 1; tick <= 30; tick++ {
+		arrivals, served := 40.0, 25.0
+		if tick > 15 { // surge: jobs arrive twice as fast
+			arrivals = 80
+		}
+		sc.SetPerf(q.heapUsed(), q.len) // sensor + deputy (queue length)
+		q.limit = float64(sc.Conf())    // controller-adjusted bound
+		q.step(arrivals, served)
+		fmt.Printf("%6d %12.0f %12.1f %12.0f\n", tick, arrivals, q.heapUsed()/mb, q.limit)
+		if q.heapUsed() > heapGoal {
+			fmt.Println("!!! hard goal violated")
+		}
+	}
+	fmt.Printf("\nheap stayed under the %.0f MB goal through the surge;\n", heapGoal/mb)
+	fmt.Println("the queue bound adapted instead of being guessed at deploy time.")
+}

@@ -1,0 +1,3 @@
+module smartconf
+
+go 1.22

@@ -1,0 +1,145 @@
+package smartconf
+
+import (
+	"math"
+	"testing"
+)
+
+// boundedQueue is a toy deputy: its size chases the threshold from below
+// (intake limited by the threshold, drain is slower than intake).
+type boundedQueue struct {
+	size  float64
+	limit float64
+}
+
+func (q *boundedQueue) step(arrivals, drains float64) {
+	q.size += arrivals
+	if q.size > q.limit {
+		q.size = q.limit // bounded intake
+	}
+	q.size -= drains
+	if q.size < 0 {
+		q.size = 0
+	}
+}
+
+func TestIndirectConfSteersDeputy(t *testing.T) {
+	// Plant: memory = 3·queue.size + 50. Hard goal: memory ≤ 500.
+	alpha, base := 3.0, 50.0
+	profile := NewProfile()
+	for _, s := range []float64{10, 40, 80, 120} {
+		for i := 0; i < 10; i++ {
+			profile.Add(s, alpha*s+base)
+		}
+	}
+	ic, err := NewIndirect(Spec{
+		Name: "max.queue.size", Metric: "mem", Goal: 500, Max: 1e6,
+	}, profile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := &boundedQueue{limit: 0}
+	for i := 0; i < 300; i++ {
+		mem := alpha*q.size + base
+		ic.SetPerf(mem, q.size)
+		q.limit = ic.Value()
+		q.step(30, 10)
+	}
+	mem := alpha*q.size + base
+	if mem > 500+1e-6 {
+		t.Errorf("steady-state memory %v exceeds goal 500", mem)
+	}
+	// (500-50)/3 = 150: the queue should be allowed near there, not squashed.
+	if q.size < 100 {
+		t.Errorf("queue size %v needlessly conservative, want ≈150", q.size)
+	}
+}
+
+func TestIndirectConfUsesDeputyCurrentValue(t *testing.T) {
+	// §5.3: the update starts from the deputy's current value. With pole 0,
+	// α=1, base 0 and goal G, desired deputy = deputy + (G - measured).
+	profile := NewProfile()
+	for _, s := range []float64{10, 20, 30} {
+		profile.Add(s, s, s, s)
+	}
+	ic, err := NewIndirect(Spec{Name: "c", Metric: "m", Goal: 100, Max: 1e6}, profile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic.SetPerf(40, 7) // e = 60, deputy = 7 → desired 67
+	if got := ic.Value(); math.Abs(got-67) > 1e-9 {
+		t.Errorf("threshold = %v, want 67 (deputy 7 + error 60)", got)
+	}
+	// Same measurement but a different deputy: threshold must differ.
+	ic.SetPerf(40, 30)
+	if got := ic.Value(); math.Abs(got-90) > 1e-9 {
+		t.Errorf("threshold = %v, want 90 (deputy 30 + error 60)", got)
+	}
+}
+
+func TestTransducers(t *testing.T) {
+	if got := Identity().Transduce(42); got != 42 {
+		t.Errorf("Identity = %v", got)
+	}
+	if got := Scale(2.5).Transduce(4); got != 10 {
+		t.Errorf("Scale(2.5)(4) = %v, want 10", got)
+	}
+	custom := TransducerFunc(func(d float64) float64 { return d + 1 })
+	if got := custom.Transduce(1); got != 2 {
+		t.Errorf("TransducerFunc = %v", got)
+	}
+}
+
+func TestIndirectConfCustomTransducer(t *testing.T) {
+	profile := NewProfile()
+	for _, s := range []float64{10, 20, 30} {
+		profile.Add(s, 2*s, 2*s)
+	}
+	// Threshold is in bytes; deputy is items of 1024 bytes each.
+	ic, err := NewIndirect(Spec{Name: "bytes.limit", Metric: "m", Goal: 40, Max: 1e9},
+		profile, Scale(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic.SetPerf(0, 0) // desired deputy = 0 + (40-0)/2 = 20 → threshold 20480
+	if got := ic.Value(); math.Abs(got-20480) > 1e-6 {
+		t.Errorf("threshold = %v, want 20480", got)
+	}
+	if ic.Conf() != 20480 {
+		t.Errorf("Conf() = %d, want 20480", ic.Conf())
+	}
+}
+
+func TestIndirectConfGoalAndDiagnostics(t *testing.T) {
+	profile := NewProfile()
+	for _, s := range []float64{1, 2, 3} {
+		profile.Add(s, s, s)
+	}
+	ic, err := NewIndirect(Spec{Name: "c", Metric: "m", Goal: 10, Max: 100}, profile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.Name() != "c" || ic.String() == "" {
+		t.Error("identity accessors broken")
+	}
+	ic.SetGoal(20)
+	if ic.Goal() != 20 {
+		t.Errorf("Goal = %v, want 20", ic.Goal())
+	}
+	if ic.Profiling() {
+		t.Error("should not be in profiling mode")
+	}
+	if p := ic.Pole(); p < 0 || p >= 1 {
+		t.Errorf("pole = %v", p)
+	}
+	if ic.CollectedProfile() != nil {
+		t.Error("CollectedProfile should be nil outside profiling mode")
+	}
+}
+
+func TestNewIndirectRequiresProfile(t *testing.T) {
+	if _, err := NewIndirect(Spec{Name: "c", Goal: 1}, nil, nil); err == nil {
+		t.Error("expected error without profile")
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import "math"
+
+// AdaptiveModel refines the plant model online with recursive least squares
+// (RLS) over the (configuration, measurement) pairs the controller sees at
+// run time. This implements the paper's §7 future-work direction — "we will
+// investigate replacing our exhaustive profiling with more scalable learning
+// approaches" — as an optional extension: synthesis still starts from the
+// profiled model, but the slope can then track plants whose gain drifts
+// (e.g. HB3813's α doubling when the workload's request size doubles).
+//
+// The estimator fits s = α·c + β with exponential forgetting:
+//
+//	x  = [c, 1]ᵀ
+//	K  = P·x / (ρ + xᵀ·P·x)
+//	θ ← θ + K·(s − θᵀ·x)
+//	P ← (P − K·xᵀ·P) / ρ
+//
+// where ρ ∈ (0, 1] is the forgetting factor (1 = ordinary RLS; smaller
+// forgets faster and tracks faster-changing plants).
+type AdaptiveModel struct {
+	theta  [2]float64    // α, β
+	p      [2][2]float64 // inverse-covariance estimate
+	forget float64
+	n      int
+
+	// slope sanity rails: the online estimate may not change sign or move
+	// more than a factor of clampFactor away from the profiled slope —
+	// wild transients (e.g. a sensor glitch) must not destabilize Eq. 2.
+	alpha0      float64
+	clampFactor float64
+}
+
+// DefaultForgetting is a conservative forgetting factor suitable for plants
+// that drift over hundreds of samples.
+const DefaultForgetting = 0.98
+
+// NewAdaptiveModel seeds RLS from the profiled model. forget outside (0, 1]
+// is replaced by DefaultForgetting.
+func NewAdaptiveModel(init Model, forget float64) *AdaptiveModel {
+	if forget <= 0 || forget > 1 {
+		forget = DefaultForgetting
+	}
+	m := &AdaptiveModel{
+		theta:       [2]float64{init.Alpha, init.Intercept},
+		forget:      forget,
+		alpha0:      init.Alpha,
+		clampFactor: 8,
+	}
+	// A modest initial covariance: trust the profile, but let run-time
+	// evidence move the estimate within a few dozen samples.
+	m.p = [2][2]float64{{1e-2 * scale2(init.Alpha), 0}, {0, 1e-2 * scale2(init.Intercept)}}
+	if m.p[0][0] == 0 {
+		m.p[0][0] = 1
+	}
+	if m.p[1][1] == 0 {
+		m.p[1][1] = 1
+	}
+	return m
+}
+
+func scale2(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v * v
+}
+
+// Observe feeds one (configuration value, measured performance) pair.
+func (m *AdaptiveModel) Observe(c, s float64) {
+	if math.IsNaN(c) || math.IsNaN(s) || math.IsInf(c, 0) || math.IsInf(s, 0) {
+		return
+	}
+	x := [2]float64{c, 1}
+
+	// P·x
+	px := [2]float64{
+		m.p[0][0]*x[0] + m.p[0][1]*x[1],
+		m.p[1][0]*x[0] + m.p[1][1]*x[1],
+	}
+	den := m.forget + x[0]*px[0] + x[1]*px[1]
+	if den <= 0 || math.IsNaN(den) {
+		return
+	}
+	k := [2]float64{px[0] / den, px[1] / den}
+
+	e := s - (m.theta[0]*x[0] + m.theta[1]*x[1])
+	m.theta[0] += k[0] * e
+	m.theta[1] += k[1] * e
+
+	// P ← (P − K·(P·x)ᵀ)/ρ  (using P symmetric: xᵀP = (P·x)ᵀ)
+	var np [2][2]float64
+	for i := 0; i < 2; i++ {
+		ki := k[i]
+		for j := 0; j < 2; j++ {
+			np[i][j] = (m.p[i][j] - ki*px[j]) / m.forget
+		}
+	}
+	m.p = np
+	m.n++
+}
+
+// Alpha returns the current slope estimate, clamped to the profiled slope's
+// sign and within clampFactor of its magnitude.
+func (m *AdaptiveModel) Alpha() float64 {
+	a := m.theta[0]
+	lo := math.Abs(m.alpha0) / m.clampFactor
+	hi := math.Abs(m.alpha0) * m.clampFactor
+	mag := math.Abs(a)
+	if mag < lo {
+		mag = lo
+	}
+	if mag > hi {
+		mag = hi
+	}
+	if m.alpha0 < 0 {
+		return -mag
+	}
+	return mag
+}
+
+// Intercept returns the current intercept estimate.
+func (m *AdaptiveModel) Intercept() float64 { return m.theta[1] }
+
+// Samples returns how many observations have been absorbed.
+func (m *AdaptiveModel) Samples() int { return m.n }
+
+// EnableAdaptation attaches an online RLS model to the controller: every
+// Update first refines the slope with the (current configuration, measured
+// performance) pair, then applies Eq. 2 with the refined α. Pass forget ≤ 0
+// for the default forgetting factor.
+func (c *Controller) EnableAdaptation(forget float64) {
+	c.adaptive = NewAdaptiveModel(c.model, forget)
+}
+
+// AdaptiveAlpha returns the live slope estimate, or the profiled slope when
+// adaptation is off.
+func (c *Controller) AdaptiveAlpha() float64 {
+	if c.adaptive == nil {
+		return c.model.Alpha
+	}
+	return c.adaptive.Alpha()
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdaptiveModelConvergesToTrueSlope(t *testing.T) {
+	init := Model{Alpha: 1, Intercept: 0}
+	m := NewAdaptiveModel(init, 0.98)
+	rng := rand.New(rand.NewSource(1))
+	trueAlpha, trueBeta := 2.5, 40.0
+	for i := 0; i < 500; i++ {
+		c := 10 + rng.Float64()*100
+		m.Observe(c, trueAlpha*c+trueBeta+rng.NormFloat64()*0.5)
+	}
+	if got := m.Alpha(); math.Abs(got-trueAlpha) > 0.1 {
+		t.Errorf("α = %v, want ≈%v", got, trueAlpha)
+	}
+	if got := m.Intercept(); math.Abs(got-trueBeta) > 5 {
+		t.Errorf("β = %v, want ≈%v", got, trueBeta)
+	}
+	if m.Samples() != 500 {
+		t.Errorf("samples = %d", m.Samples())
+	}
+}
+
+func TestAdaptiveModelTracksDrift(t *testing.T) {
+	// The HB3813 story: the true gain doubles mid-run (1MB → 2MB requests).
+	m := NewAdaptiveModel(Model{Alpha: 1}, 0.95)
+	rng := rand.New(rand.NewSource(2))
+	feed := func(alpha float64, n int) {
+		for i := 0; i < n; i++ {
+			c := 20 + rng.Float64()*80
+			m.Observe(c, alpha*c+rng.NormFloat64()*0.2)
+		}
+	}
+	feed(1.0, 300)
+	if got := m.Alpha(); math.Abs(got-1.0) > 0.05 {
+		t.Fatalf("pre-drift α = %v", got)
+	}
+	feed(2.0, 300)
+	if got := m.Alpha(); math.Abs(got-2.0) > 0.1 {
+		t.Errorf("post-drift α = %v, want ≈2", got)
+	}
+}
+
+func TestAdaptiveModelClampsRunawayEstimates(t *testing.T) {
+	m := NewAdaptiveModel(Model{Alpha: 1}, 0.9)
+	// Pathological data trying to flip the sign.
+	for i := 0; i < 200; i++ {
+		m.Observe(float64(i+1), -100*float64(i+1))
+	}
+	if got := m.Alpha(); got <= 0 {
+		t.Errorf("α = %v; sign must not flip", got)
+	}
+	if got := m.Alpha(); got < 1.0/8-1e-9 {
+		t.Errorf("α = %v below the clamp floor", got)
+	}
+	// And magnitude is capped above.
+	m2 := NewAdaptiveModel(Model{Alpha: 1}, 0.9)
+	for i := 0; i < 200; i++ {
+		m2.Observe(float64(i+1), 1e6*float64(i+1))
+	}
+	if got := m2.Alpha(); got > 8+1e-9 {
+		t.Errorf("α = %v above the clamp ceiling", got)
+	}
+}
+
+func TestAdaptiveModelIgnoresNonFiniteSamples(t *testing.T) {
+	m := NewAdaptiveModel(Model{Alpha: 2}, 0.98)
+	m.Observe(math.NaN(), 1)
+	m.Observe(1, math.Inf(1))
+	if m.Samples() != 0 {
+		t.Errorf("non-finite samples were absorbed: %d", m.Samples())
+	}
+	if m.Alpha() != 2 {
+		t.Errorf("α drifted to %v with no valid samples", m.Alpha())
+	}
+}
+
+func TestNewAdaptiveModelDefaults(t *testing.T) {
+	m := NewAdaptiveModel(Model{Alpha: 0, Intercept: 0}, -1)
+	if m.forget != DefaultForgetting {
+		t.Errorf("forget = %v", m.forget)
+	}
+	// Zero-valued init must still leave a usable covariance.
+	m.Observe(1, 3)
+	if m.Samples() != 1 {
+		t.Error("observation rejected")
+	}
+}
+
+func TestControllerWithAdaptationRecoversFromModelError(t *testing.T) {
+	// Profile said α=1; the real plant has α=3. A fixed-model deadbeat
+	// controller rings (its steps are 3× too large); the adaptive one
+	// converges cleanly.
+	run := func(adaptive bool) (ring float64) {
+		ctrl, err := NewController(Model{Alpha: 1}, 0, 0, Goal{Target: 300}, Options{Max: 1e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adaptive {
+			ctrl.EnableAdaptation(0.98)
+		}
+		c := ctrl.Conf()
+		var prev float64
+		for i := 0; i < 60; i++ {
+			s := 3 * c
+			if i > 30 { // measure ringing amplitude late in the run
+				ring += math.Abs(s - prev)
+			}
+			prev = s
+			c = ctrl.Update(s)
+		}
+		return ring
+	}
+	fixed, adaptive := run(false), run(true)
+	if adaptive >= fixed {
+		t.Errorf("adaptive ringing %v should be below fixed-model ringing %v", adaptive, fixed)
+	}
+	// Sanity on accessors.
+	ctrl, _ := NewController(Model{Alpha: 1}, 0, 0, Goal{Target: 1}, Options{Max: 10})
+	if ctrl.AdaptiveAlpha() != 1 {
+		t.Error("AdaptiveAlpha without adaptation should return the model slope")
+	}
+	ctrl.EnableAdaptation(0)
+	if ctrl.AdaptiveAlpha() != 1 {
+		t.Error("fresh adaptive slope should equal the seed")
+	}
+}
+
+// Property: RLS with clean data never produces non-finite estimates.
+func TestAdaptiveModelFiniteProperty(t *testing.T) {
+	f := func(seed int64, alphaSeed, betaSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := 0.1 + float64(alphaSeed)/32
+		beta := float64(betaSeed)
+		m := NewAdaptiveModel(Model{Alpha: alpha, Intercept: beta}, 0.97)
+		for i := 0; i < 200; i++ {
+			c := rng.Float64() * 1000
+			m.Observe(c, alpha*c+beta+rng.NormFloat64())
+			if math.IsNaN(m.Alpha()) || math.IsInf(m.Alpha(), 0) ||
+				math.IsNaN(m.Intercept()) || math.IsInf(m.Intercept(), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Diagnosis is a warning about profiling data that predicts a poorly
+// behaved controller. SmartConf still synthesizes (the controller is robust
+// to moderate model error), but §6.6 of the paper is explicit that some
+// plants are out of scope — non-monotonic knob→metric relationships most of
+// all — and those should be surfaced to the developer, not discovered in
+// production.
+type Diagnosis struct {
+	// Code identifies the warning class.
+	Code DiagnosisCode
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// DiagnosisCode enumerates the warning classes.
+type DiagnosisCode int
+
+const (
+	// NonMonotonic: per-setting mean performance is not monotone in the
+	// setting. The paper (§6.6, the MR5420 discussion) calls this out as the
+	// case SmartConf fundamentally does not fit — a linear model cannot
+	// represent a U-shaped plant, and the controller may push the knob the
+	// wrong way on one side of the optimum.
+	NonMonotonic DiagnosisCode = iota
+	// WeakFit: the linear model explains little of the variance (low R²) —
+	// the slope may be dominated by noise.
+	WeakFit
+	// FewSettings: fewer than three distinct settings were profiled, so
+	// monotonicity and linearity cannot be judged at all.
+	FewSettings
+	// FewSamples: some setting has fewer than three measurements, so its
+	// variance (and thus λ and the pole) is poorly estimated.
+	FewSamples
+)
+
+func (c DiagnosisCode) String() string {
+	switch c {
+	case NonMonotonic:
+		return "non-monotonic"
+	case WeakFit:
+		return "weak-fit"
+	case FewSettings:
+		return "few-settings"
+	case FewSamples:
+		return "few-samples"
+	}
+	return fmt.Sprintf("DiagnosisCode(%d)", int(c))
+}
+
+func (d Diagnosis) String() string {
+	return fmt.Sprintf("%s: %s", d.Code, d.Detail)
+}
+
+// Diagnose inspects a profile for the §6.6 hazards. An empty result means
+// the data looks like a plant SmartConf is designed for; warnings are
+// advisory (synthesis proceeds either way).
+func (p Profile) Diagnose() []Diagnosis {
+	var out []Diagnosis
+
+	if len(p.Settings) < 3 {
+		out = append(out, Diagnosis{FewSettings, fmt.Sprintf(
+			"only %d distinct settings profiled; monotonicity cannot be judged (profile ≥3)", len(p.Settings))})
+	}
+	for _, s := range p.Settings {
+		if len(s.Samples) < 3 {
+			out = append(out, Diagnosis{FewSamples, fmt.Sprintf(
+				"setting %g has only %d measurements; variance (λ, pole) is poorly estimated", s.Setting, len(s.Samples))})
+			break
+		}
+	}
+
+	// Monotonicity of per-setting means (Settings are sorted by Collector;
+	// trust the order given here).
+	if len(p.Settings) >= 3 {
+		means := make([]float64, len(p.Settings))
+		for i, s := range p.Settings {
+			var sum float64
+			for _, v := range s.Samples {
+				sum += v
+			}
+			means[i] = sum / float64(len(s.Samples))
+		}
+		up, down := false, false
+		for i := 1; i < len(means); i++ {
+			switch {
+			case means[i] > means[i-1]:
+				up = true
+			case means[i] < means[i-1]:
+				down = true
+			}
+		}
+		if up && down {
+			out = append(out, Diagnosis{NonMonotonic,
+				"per-setting mean performance rises and falls across the profiled range; " +
+					"SmartConf's linear model does not fit such plants (paper §6.6) — " +
+					"consider a learning-based tuner instead"})
+		}
+	}
+
+	if m, err := p.Fit(); err == nil && m.R2 < 0.1 {
+		out = append(out, Diagnosis{WeakFit, fmt.Sprintf(
+			"linear fit explains only %.0f%% of the variance; the slope may be noise-driven", 100*m.R2)})
+	}
+	return out
+}

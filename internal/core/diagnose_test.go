@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func diagCodes(ds []Diagnosis) map[DiagnosisCode]bool {
+	m := map[DiagnosisCode]bool{}
+	for _, d := range ds {
+		m[d.Code] = true
+	}
+	return m
+}
+
+func TestDiagnoseCleanProfile(t *testing.T) {
+	p := mkProfile([]float64{10, 20, 30, 40}, func(c float64) []float64 {
+		return []float64{2 * c, 2*c + 1, 2*c - 1}
+	})
+	if ds := p.Diagnose(); len(ds) != 0 {
+		t.Errorf("clean profile diagnosed: %v", ds)
+	}
+}
+
+func TestDiagnoseNonMonotonic(t *testing.T) {
+	// A U-shaped plant — the paper's MR5420 example (§6.6).
+	p := mkProfile([]float64{1, 2, 3, 4}, func(c float64) []float64 {
+		v := (c - 2.5) * (c - 2.5) * 10
+		return []float64{v, v, v}
+	})
+	codes := diagCodes(p.Diagnose())
+	if !codes[NonMonotonic] {
+		t.Error("U-shaped plant not flagged as non-monotonic")
+	}
+}
+
+func TestDiagnoseFewSettingsAndSamples(t *testing.T) {
+	p := mkProfile([]float64{1, 2}, func(c float64) []float64 {
+		return []float64{c, c}
+	})
+	codes := diagCodes(p.Diagnose())
+	if !codes[FewSettings] || !codes[FewSamples] {
+		t.Errorf("sparse profile diagnoses: %v", p.Diagnose())
+	}
+}
+
+func TestDiagnoseWeakFit(t *testing.T) {
+	// Performance independent of the setting but noisy: slope ≈ 0-ish with
+	// terrible R².
+	vals := [][]float64{
+		{100, 180, 120, 160},
+		{170, 110, 150, 130},
+		{140, 160, 100, 180},
+	}
+	i := 0
+	p := mkProfile([]float64{10, 20, 30}, func(float64) []float64 {
+		v := vals[i%len(vals)]
+		i++
+		return v
+	})
+	codes := diagCodes(p.Diagnose())
+	if !codes[WeakFit] {
+		t.Errorf("noise-dominated profile not flagged: %v", p.Diagnose())
+	}
+}
+
+func TestDiagnosisStringers(t *testing.T) {
+	d := Diagnosis{NonMonotonic, "detail"}
+	if !strings.Contains(d.String(), "non-monotonic") {
+		t.Errorf("String = %q", d.String())
+	}
+	if !strings.Contains(DiagnosisCode(99).String(), "99") {
+		t.Error("out-of-range code stringer")
+	}
+	for c := NonMonotonic; c <= FewSamples; c++ {
+		if strings.Contains(c.String(), "DiagnosisCode") {
+			t.Errorf("missing name for code %d", int(c))
+		}
+	}
+}

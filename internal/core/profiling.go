@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Plan describes a profiling campaign: which configuration settings to pin
+// and how many measurements to take at each. The paper's default plan tries
+// 4 settings spread over the valid range and collects 10 measurements per
+// setting (40 samples — enough for the linear-regression rule of thumb).
+type Plan struct {
+	Settings       []float64
+	SamplesPerStep int
+}
+
+// DefaultPlan spreads n settings evenly over [min, max] with the paper's
+// default of 10 samples per setting. n < 2 is raised to 2.
+func DefaultPlan(min, max float64, n int) Plan {
+	if n < 2 {
+		n = 2
+	}
+	settings := make([]float64, n)
+	step := (max - min) / float64(n-1)
+	for i := range settings {
+		settings[i] = min + float64(i)*step
+	}
+	return Plan{Settings: settings, SamplesPerStep: 10}
+}
+
+// Collector accumulates (setting, measurement) pairs during a profiling run
+// and assembles them into a Profile. It tolerates out-of-order and
+// interleaved settings: samples are grouped by exact setting value.
+type Collector struct {
+	bySetting map[float64][]float64
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{bySetting: make(map[float64][]float64)}
+}
+
+// Record stores one performance measurement taken while the configuration
+// (or, for indirect configurations, the deputy variable) held the given value.
+func (c *Collector) Record(setting, measurement float64) {
+	c.bySetting[setting] = append(c.bySetting[setting], measurement)
+}
+
+// Len reports the total number of recorded samples.
+func (c *Collector) Len() int {
+	n := 0
+	for _, s := range c.bySetting {
+		n += len(s)
+	}
+	return n
+}
+
+// Profile assembles the recorded samples, ordered by setting value.
+func (c *Collector) Profile() Profile {
+	settings := make([]float64, 0, len(c.bySetting))
+	for s := range c.bySetting {
+		settings = append(settings, s)
+	}
+	sort.Float64s(settings)
+	p := Profile{Settings: make([]SettingProfile, 0, len(settings))}
+	for _, s := range settings {
+		samples := append([]float64(nil), c.bySetting[s]...)
+		p.Settings = append(p.Settings, SettingProfile{Setting: s, Samples: samples})
+	}
+	return p
+}
+
+// Reset discards all recorded samples.
+func (c *Collector) Reset() {
+	c.bySetting = make(map[float64][]float64)
+}
+
+// Run executes a profiling plan against a plant: for each planned setting it
+// calls measure(setting) SamplesPerStep times and records the results.
+// measure is expected to apply the setting to the system, let it settle, and
+// return one performance observation.
+func (p Plan) Run(measure func(setting float64) (float64, error)) (Profile, error) {
+	if len(p.Settings) == 0 {
+		return Profile{}, ErrEmptyProfile
+	}
+	samples := p.SamplesPerStep
+	if samples <= 0 {
+		samples = 10
+	}
+	col := NewCollector()
+	for _, s := range p.Settings {
+		for i := 0; i < samples; i++ {
+			m, err := measure(s)
+			if err != nil {
+				return Profile{}, fmt.Errorf("core: profiling setting %v sample %d: %w", s, i, err)
+			}
+			col.Record(s, m)
+		}
+	}
+	return col.Profile(), nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// StepResponse summarizes a closed-loop simulation of a controller against
+// a linear plant — the classical control-engineering view (settling time,
+// overshoot, steady-state error) used by tests and ablations to compare
+// pole choices quantitatively rather than anecdotally.
+type StepResponse struct {
+	// Settled reports whether the loop reached the 2% band at all.
+	Settled bool
+	// SettlingSteps is the first step after which the measurement stayed
+	// within ±2% of the setpoint.
+	SettlingSteps int
+	// Overshoot is the worst excursion past the setpoint, as a fraction of
+	// the setpoint (0 = none).
+	Overshoot float64
+	// SteadyStateError is |setpoint − final measurement| / setpoint.
+	SteadyStateError float64
+}
+
+// SimulateStep closes the loop between ctrl and the plant s = alpha·c + beta
+// for steps iterations and reports the classical step-response metrics
+// against the controller's effective setpoint (the virtual goal for hard
+// goals). The controller's state advances — pass a fresh controller.
+func SimulateStep(ctrl *Controller, alpha, beta float64, steps int) StepResponse {
+	setpoint := ctrl.VirtualTarget()
+	if setpoint == 0 {
+		return StepResponse{}
+	}
+	band := 0.02 * math.Abs(setpoint)
+
+	resp := StepResponse{SettlingSteps: -1}
+	c := ctrl.Conf()
+	settledAt := -1
+	var last float64
+	for k := 0; k < steps; k++ {
+		s := alpha*c + beta
+		last = s
+
+		if over := exceedance(ctrl.Goal().Bound, s, setpoint); over > resp.Overshoot {
+			resp.Overshoot = over / math.Abs(setpoint)
+		}
+		if math.Abs(s-setpoint) <= band {
+			if settledAt < 0 {
+				settledAt = k
+			}
+		} else {
+			settledAt = -1
+		}
+		c = ctrl.Update(s)
+	}
+	if settledAt >= 0 {
+		resp.Settled = true
+		resp.SettlingSteps = settledAt
+	}
+	resp.SteadyStateError = math.Abs(last-setpoint) / math.Abs(setpoint)
+	return resp
+}
+
+// exceedance returns how far s goes past the setpoint on the dangerous side
+// (0 when it does not).
+func exceedance(b Bound, s, setpoint float64) float64 {
+	if b == LowerBound {
+		if s < setpoint {
+			return setpoint - s
+		}
+		return 0
+	}
+	if s > setpoint {
+		return s - setpoint
+	}
+	return 0
+}
+
+// SettlingTime converts a step count into virtual time given the loop's
+// sampling period.
+func (r StepResponse) SettlingTime(period time.Duration) time.Duration {
+	if !r.Settled {
+		return -1
+	}
+	return time.Duration(r.SettlingSteps) * period
+}

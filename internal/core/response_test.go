@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func freshController(t *testing.T, pole float64) *Controller {
+	t.Helper()
+	ctrl, err := NewController(Model{Alpha: 2}, pole, 0,
+		Goal{Target: 400}, Options{Initial: 0, Max: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+func TestSimulateStepDeadbeat(t *testing.T) {
+	// Exact model, pole 0: settle in one step, no overshoot, zero error.
+	r := SimulateStep(freshController(t, 0), 2, 0, 50)
+	if !r.Settled || r.SettlingSteps > 1 {
+		t.Errorf("deadbeat response: %+v", r)
+	}
+	if r.Overshoot != 0 || r.SteadyStateError > 1e-9 {
+		t.Errorf("deadbeat quality: %+v", r)
+	}
+}
+
+func TestSettlingTimeMonotoneInPole(t *testing.T) {
+	// Slower poles settle later — the quantitative cost §5.1's rule trades
+	// against stability margin.
+	prev := -1
+	for _, pole := range []float64{0, 0.5, 0.9} {
+		r := SimulateStep(freshController(t, pole), 2, 0, 500)
+		if !r.Settled {
+			t.Fatalf("pole %v never settled", pole)
+		}
+		if r.SettlingSteps < prev {
+			t.Errorf("pole %v settled in %d steps, faster than a smaller pole (%d)",
+				pole, r.SettlingSteps, prev)
+		}
+		prev = r.SettlingSteps
+		if r.Overshoot > 0 {
+			t.Errorf("pole %v overshot by %v with an exact model", pole, r.Overshoot)
+		}
+	}
+}
+
+func TestSimulateStepModelErrorOvershoots(t *testing.T) {
+	// Model α=2 but the true plant gain is 5: a deadbeat step is 2.5× too
+	// big, so the loop must overshoot (and the §5.1 pole rule exists to
+	// absorb exactly this).
+	ctrl := freshController(t, 0)
+	r := SimulateStep(ctrl, 5, 0, 200)
+	if r.Overshoot == 0 {
+		t.Error("2.5× model error with deadbeat should overshoot")
+	}
+	// A conservative pole absorbs the same model error.
+	calm := SimulateStep(freshController(t, 0.7), 5, 0, 500)
+	if calm.Overshoot >= r.Overshoot {
+		t.Errorf("pole 0.7 overshoot %v not below deadbeat %v", calm.Overshoot, r.Overshoot)
+	}
+}
+
+func TestSettlingTimeHelper(t *testing.T) {
+	r := StepResponse{Settled: true, SettlingSteps: 7}
+	if got := r.SettlingTime(2 * time.Second); got != 14*time.Second {
+		t.Errorf("SettlingTime = %v", got)
+	}
+	if got := (StepResponse{}).SettlingTime(time.Second); got != -1 {
+		t.Errorf("unsettled SettlingTime = %v, want -1", got)
+	}
+}
+
+func TestSimulateStepLowerBound(t *testing.T) {
+	ctrl, err := NewController(Model{Alpha: 3}, 0.3, 0,
+		Goal{Target: 300, Bound: LowerBound}, Options{Initial: 200, Max: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := SimulateStep(ctrl, 3, 0, 300)
+	if !r.Settled {
+		t.Errorf("lower-bound loop never settled: %+v", r)
+	}
+}
+
+func TestSimulateStepZeroSetpoint(t *testing.T) {
+	ctrl, err := NewController(Model{Alpha: 1}, 0, 0, Goal{Target: 0}, Options{Max: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := SimulateStep(ctrl, 1, 0, 10); r.Settled {
+		t.Errorf("zero setpoint should short-circuit: %+v", r)
+	}
+}

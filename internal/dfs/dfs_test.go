@@ -1,0 +1,169 @@
+package dfs
+
+import (
+	"testing"
+	"time"
+
+	"smartconf/internal/sim"
+)
+
+func smallConfig() Config {
+	return Config{
+		PerFileCost:       time.Millisecond,
+		ReacquireOverhead: 10 * time.Millisecond,
+		InitialFiles:      1000,
+	}
+}
+
+func TestDuCompletesAndMeasuresLatency(t *testing.T) {
+	s := sim.New()
+	nn := New(s, smallConfig(), 100)
+	var got time.Duration
+	s.At(0, func() {
+		nn.Du(func(lat time.Duration) { got = lat })
+	})
+	s.Run()
+	// 1000 files × 1ms + 10 chunks × 10ms reacquire = 1.0s + 0.1s.
+	want := 1100 * time.Millisecond
+	if got < want-50*time.Millisecond || got > want+50*time.Millisecond {
+		t.Errorf("du latency = %v, want ≈%v", got, want)
+	}
+	if nn.DusDone() != 1 {
+		t.Errorf("dusDone = %d", nn.DusDone())
+	}
+}
+
+func TestHoldTimeScalesWithLimit(t *testing.T) {
+	run := func(limit int) time.Duration {
+		s := sim.New()
+		nn := New(s, smallConfig(), limit)
+		s.At(0, func() { nn.Du(nil) })
+		s.Run()
+		return nn.HoldTimes().Worst()
+	}
+	small, large := run(10), run(500)
+	if small >= large {
+		t.Errorf("hold(limit=10)=%v should be < hold(limit=500)=%v", small, large)
+	}
+	if large < 450*time.Millisecond || large > 550*time.Millisecond {
+		t.Errorf("hold(500) = %v, want ≈500ms", large)
+	}
+}
+
+func TestSmallLimitInflatesDuLatency(t *testing.T) {
+	run := func(limit int) time.Duration {
+		s := sim.New()
+		nn := New(s, smallConfig(), limit)
+		s.At(0, func() { nn.Du(nil) })
+		s.Run()
+		return nn.DuLatency().Worst()
+	}
+	small, large := run(5), run(1000)
+	if small <= large {
+		t.Errorf("du(limit=5)=%v should exceed du(limit=1000)=%v (reacquire overhead)", small, large)
+	}
+}
+
+func TestWritersBlockDuringHold(t *testing.T) {
+	s := sim.New()
+	cfg := smallConfig()
+	nn := New(s, cfg, 1000) // one giant 1s hold
+	s.At(0, func() { nn.Du(nil) })
+	s.At(100*time.Millisecond, func() { nn.Write() }) // lands mid-hold
+	s.Run()
+	if nn.WritesDone() != 1 {
+		t.Fatalf("writesDone = %d", nn.WritesDone())
+	}
+	// Blocked from 100ms until the hold ends at ~1000ms.
+	blocked := nn.BlockTimes().Worst()
+	if blocked < 850*time.Millisecond || blocked > 950*time.Millisecond {
+		t.Errorf("writer block = %v, want ≈900ms", blocked)
+	}
+}
+
+func TestWritesOutsideDuAreInstant(t *testing.T) {
+	s := sim.New()
+	nn := New(s, smallConfig(), 10)
+	s.At(0, func() { nn.Write() })
+	s.Run()
+	if nn.WritesDone() != 1 || nn.BlockTimes().Worst() != 0 {
+		t.Errorf("writesDone=%d block=%v", nn.WritesDone(), nn.BlockTimes().Worst())
+	}
+	if nn.Files() != smallConfig().InitialFiles+1 {
+		t.Errorf("files = %d", nn.Files())
+	}
+}
+
+func TestDuSnapshotExcludesConcurrentWrites(t *testing.T) {
+	s := sim.New()
+	cfg := smallConfig()
+	cfg.InitialFiles = 100
+	nn := New(s, cfg, 10)
+	var lat time.Duration
+	s.At(0, func() { nn.Du(func(d time.Duration) { lat = d }) })
+	// Writes landing during the du grow the namespace but not this du's work.
+	s.Every(5*time.Millisecond, 5*time.Millisecond, func() bool {
+		nn.Write()
+		return s.Now() < 150*time.Millisecond
+	})
+	s.Run()
+	// 100 files ×1ms + 10 reacquires ×10ms = 200ms regardless of new files.
+	if lat < 190*time.Millisecond || lat > 220*time.Millisecond {
+		t.Errorf("du latency = %v, want ≈200ms", lat)
+	}
+	if nn.Files() <= 100 {
+		t.Error("concurrent writes lost")
+	}
+}
+
+func TestConcurrentDusSerialize(t *testing.T) {
+	s := sim.New()
+	nn := New(s, smallConfig(), 100)
+	var first, second time.Duration
+	s.At(0, func() {
+		nn.Du(func(d time.Duration) { first = d })
+		nn.Du(func(d time.Duration) { second = d })
+	})
+	s.Run()
+	if nn.DusDone() != 2 {
+		t.Fatalf("dusDone = %d", nn.DusDone())
+	}
+	if second <= first {
+		t.Errorf("second du latency %v should include waiting for the first (%v)", second, first)
+	}
+}
+
+func TestBeforeChunkHookAndLimitAdjustment(t *testing.T) {
+	s := sim.New()
+	cfg := smallConfig()
+	cfg.InitialFiles = 100
+	nn := New(s, cfg, 50)
+	chunks := 0
+	nn.BeforeChunk = func() {
+		chunks++
+		nn.SetLimit(25) // controller shrinks the chunk mid-du
+	}
+	s.At(0, func() { nn.Du(nil) })
+	s.Run()
+	// First chunk 50 (hook fires before adjustment takes effect on THIS
+	// chunk? No: hook runs before n is chosen, so all chunks are 25 after
+	// the first call adjusts) → 100/25 = 4 chunks.
+	if chunks != 4 {
+		t.Errorf("chunks = %d, want 4 (limit lowered to 25 by the hook)", chunks)
+	}
+	if nn.Limit() != 25 {
+		t.Errorf("limit = %d", nn.Limit())
+	}
+}
+
+func TestLimitClamp(t *testing.T) {
+	s := sim.New()
+	nn := New(s, smallConfig(), 0)
+	if nn.Limit() != 1 {
+		t.Errorf("limit = %d, want clamped to 1", nn.Limit())
+	}
+	nn.SetLimit(-10)
+	if nn.Limit() != 1 {
+		t.Errorf("limit = %d, want clamped to 1", nn.Limit())
+	}
+}

@@ -1,0 +1,87 @@
+// Package disksim models a bounded local disk with out-of-disk failure,
+// standing in for the worker-local disks of the paper's MR2820 issue
+// (mapreduce.local.dir free-space admission).
+//
+// Unlike an OOM'd heap, a full disk is recoverable in principle — but for a
+// running task, hitting ENOSPC mid-write fails the task; the model records
+// the first such failure so the harness can attribute job failures.
+package disksim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfDisk is returned by Write when the disk fills.
+var ErrOutOfDisk = errors.New("disksim: out of disk space")
+
+// Disk is a byte-accounted disk with a hard capacity.
+// Not safe for concurrent use (simulation code is single-goroutine).
+type Disk struct {
+	capacity int64
+	used     int64
+	peak     int64
+	oodCount int
+	onOOD    func()
+}
+
+// NewDisk returns a disk with the given capacity in bytes.
+func NewDisk(capacity int64) *Disk {
+	if capacity <= 0 {
+		panic("disksim: disk capacity must be positive")
+	}
+	return &Disk{capacity: capacity}
+}
+
+// OnOOD installs a hook invoked on every failed write.
+func (d *Disk) OnOOD(fn func()) { d.onOOD = fn }
+
+// Write appends n bytes, failing with ErrOutOfDisk when capacity would be
+// exceeded (the write is not partially applied).
+func (d *Disk) Write(n int64) error {
+	if n < 0 {
+		panic("disksim: negative write")
+	}
+	if d.used+n > d.capacity {
+		d.oodCount++
+		if d.onOOD != nil {
+			d.onOOD()
+		}
+		return ErrOutOfDisk
+	}
+	d.used += n
+	if d.used > d.peak {
+		d.peak = d.used
+	}
+	return nil
+}
+
+// Delete releases n bytes. Deleting more than is stored panics (accounting
+// bug in the substrate).
+func (d *Disk) Delete(n int64) {
+	if n < 0 {
+		panic("disksim: negative delete")
+	}
+	if n > d.used {
+		panic(fmt.Sprintf("disksim: deleting %d bytes with only %d stored", n, d.used))
+	}
+	d.used -= n
+}
+
+// Used returns current occupancy in bytes.
+func (d *Disk) Used() int64 { return d.used }
+
+// Peak returns the high-water mark in bytes.
+func (d *Disk) Peak() int64 { return d.peak }
+
+// Capacity returns the disk capacity in bytes.
+func (d *Disk) Capacity() int64 { return d.capacity }
+
+// Free returns remaining space in bytes.
+func (d *Disk) Free() int64 { return d.capacity - d.used }
+
+// OODCount reports how many writes have failed for lack of space.
+func (d *Disk) OODCount() int { return d.oodCount }
+
+// OOD reports whether any write has failed.
+func (d *Disk) OOD() bool { return d.oodCount > 0 }

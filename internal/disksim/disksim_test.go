@@ -1,0 +1,95 @@
+package disksim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteDeleteAccounting(t *testing.T) {
+	d := NewDisk(1000)
+	if err := d.Write(700); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 700 || d.Free() != 300 || d.Peak() != 700 {
+		t.Errorf("used=%d free=%d peak=%d", d.Used(), d.Free(), d.Peak())
+	}
+	d.Delete(200)
+	if d.Used() != 500 || d.Peak() != 700 {
+		t.Errorf("after delete: used=%d peak=%d", d.Used(), d.Peak())
+	}
+}
+
+func TestOODIsRecoverableButCounted(t *testing.T) {
+	d := NewDisk(100)
+	hooks := 0
+	d.OnOOD(func() { hooks++ })
+	if err := d.Write(90); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(20); err != ErrOutOfDisk {
+		t.Fatalf("err = %v, want ErrOutOfDisk", err)
+	}
+	// Failed writes are not partially applied.
+	if d.Used() != 90 {
+		t.Errorf("used = %d after failed write, want 90", d.Used())
+	}
+	// Unlike OOM, freeing space allows new writes — but the failure stays
+	// on record for the harness.
+	d.Delete(50)
+	if err := d.Write(20); err != nil {
+		t.Errorf("post-cleanup write failed: %v", err)
+	}
+	if d.OODCount() != 1 || !d.OOD() || hooks != 1 {
+		t.Errorf("oodCount=%d hooks=%d", d.OODCount(), hooks)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("zero capacity", func() { NewDisk(0) })
+	assertPanics("negative write", func() { NewDisk(10).Write(-1) })
+	assertPanics("negative delete", func() { NewDisk(10).Delete(-1) })
+	assertPanics("overdelete", func() { NewDisk(10).Delete(1) })
+}
+
+// Property: occupancy tracks the ledger of accepted writes minus deletes,
+// within [0, capacity], and OODCount counts exactly the rejected writes.
+func TestDiskInvariantProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		d := NewDisk(1 << 16)
+		var ledger int64
+		rejected := 0
+		for _, op := range ops {
+			n := int64(op)
+			if n >= 0 {
+				if err := d.Write(n); err == nil {
+					ledger += n
+				} else {
+					rejected++
+				}
+			} else {
+				n = -n
+				if n > ledger {
+					continue
+				}
+				d.Delete(n)
+				ledger -= n
+			}
+			if d.Used() != ledger || d.Used() > d.Capacity() || d.Used() < 0 {
+				return false
+			}
+		}
+		return d.OODCount() == rejected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"smartconf"
+	"smartconf/internal/core"
+	"smartconf/internal/memsim"
+	"smartconf/internal/rpcserver"
+	"smartconf/internal/sim"
+	"smartconf/internal/workload"
+)
+
+// Extension scenarios beyond the paper's six issues, exercising the metric
+// classes its study says dominate (Table 4: most PerfConfs affect
+// user-request latency) and the distributed deployment §6.6 discusses.
+
+// --- Extension 1: a tail-latency SLA goal ---
+//
+// The queue bound that protects memory in HB3813 also shapes latency: a
+// deep queue means requests wait behind hundreds of others. Here the user's
+// goal is "p99 request latency ≤ SLA" (soft), and the trade-off is accepted
+// throughput — deeper queue ⇒ fewer rejects but longer waits.
+
+// SLAResult is the outcome of one latency-goal run.
+type SLAResult struct {
+	Policy        Policy
+	P99           float64 // seconds, end-of-run window
+	ConstraintMet bool
+	Throughput    float64
+}
+
+const (
+	slaRunTime = 400 * time.Second
+	slaGoalSec = 4.0
+)
+
+// RunSLAScenario executes the latency-goal scenario under a policy.
+func RunSLAScenario(p Policy) SLAResult {
+	s := sim.New()
+	rng := rand.New(rand.NewSource(909))
+	heap := memsim.NewHeap(4 << 30) // memory is NOT the constraint here
+	sv := rpcserver.New(s, heap, rpcConfig())
+	sv.SetMaxQueue(0)
+
+	switch p.Kind {
+	case StaticPolicy:
+		sv.SetMaxQueue(int(p.Static))
+	case SmartConfPolicy:
+		// Profile p99 latency against the pinned queue bound. Unlike the
+		// memory goals, latency relates to the BOUND itself (the worst wait
+		// is set by how deep the queue may get), so this is a DIRECT
+		// configuration — the paper's SmartConf class, not SmartConf_I.
+		profile := profileSLA()
+		sc, err := smartconf.New(smartconf.Spec{
+			Name:    "ipc.server.max.queue.size",
+			Metric:  "p99_latency",
+			Goal:    slaGoalSec,
+			Hard:    false, // SLA: soft constraint
+			Initial: 1,
+			Min:     1, Max: 5000,
+		}, publicProfile(profile))
+		if err != nil {
+			panic(err)
+		}
+		// The controller runs on the SENSOR's timescale: a p99 estimate needs
+		// a window of completions and lags the knob by about two burst
+		// cycles, so the loop updates once per 15 s — faster sampling would
+		// chase its own stale measurements (a lesson the percentile class of
+		// Table 4 metrics forces on any controller).
+		s.Every(15*time.Second, 15*time.Second, func() bool {
+			p99 := sv.Latency().Percentile(99).Seconds() //sc:SLA:sensor
+			sc.SetPerf(p99)                              //sc:SLA:invoke
+			sv.SetMaxQueue(sc.Conf())                    //sc:SLA:invoke
+			return s.Now() < slaRunTime
+		})
+	}
+
+	w := &rpcWorkload{
+		gen:        workload.NewYCSB(910, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 * mb}),
+		burstSize:  hb3813BurstSize,
+		burstEvery: hb3813BurstEvery,
+		spacing:    hb3813Spacing,
+		phases:     []workload.YCSBPhase{{Name: "steady", WriteRatio: 1, RequestBytes: 1 * mb}},
+	}
+	var worstP99 float64
+	s.Every(5*time.Second, 5*time.Second, func() bool {
+		if s.Now() > 60*time.Second { // after convergence
+			if v := sv.Latency().Percentile(99).Seconds(); v > worstP99 {
+				worstP99 = v
+			}
+		}
+		return s.Now() < slaRunTime
+	})
+	w.run(s, slaRunTime, rng, func(op workload.Op) { sv.Offer(op) })
+	s.RunUntil(slaRunTime)
+
+	return SLAResult{
+		Policy:        p,
+		P99:           worstP99,
+		ConstraintMet: worstP99 <= slaGoalSec*1.1, // soft: 10% SLA slack
+		Throughput:    float64(sv.Completed()) / slaRunTime.Seconds(),
+	}
+}
+
+// profileSLA profiles p99 latency against four pinned queue bounds.
+func profileSLA() core.Profile {
+	col := core.NewCollector()
+	for _, setting := range []float64{30, 90, 180, 300} {
+		s := sim.New()
+		rng := rand.New(rand.NewSource(909))
+		heap := memsim.NewHeap(4 << 30)
+		sv := rpcserver.New(s, heap, rpcConfig())
+		sv.SetMaxQueue(int(setting))
+		taken := 0
+		s.Every(10*time.Second, 5*time.Second, func() bool {
+			if taken < 10 {
+				col.Record(setting, sv.Latency().Percentile(99).Seconds())
+				taken++
+			}
+			return taken < 10
+		})
+		w := &rpcWorkload{
+			gen:        workload.NewYCSB(909, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 * mb}),
+			burstSize:  hb3813BurstSize,
+			burstEvery: hb3813BurstEvery,
+			spacing:    hb3813Spacing,
+			phases:     []workload.YCSBPhase{{Name: "profiling", WriteRatio: 1, RequestBytes: 1 * mb}},
+		}
+		w.run(s, 70*time.Second, rng, func(op workload.Op) { sv.Offer(op) })
+		s.RunUntil(70 * time.Second)
+	}
+	return col.Profile()
+}
+
+// RenderSLA formats the SLA comparison.
+func RenderSLA(results []SLAResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: p99-latency SLA goal (≤ %.0fs) on the RPC queue bound\n", slaGoalSec)
+	fmt.Fprintf(&b, "%-16s %10s %8s %12s\n", "policy", "p99(s)", "OK?", "ops/s")
+	for _, r := range results {
+		ok := "ok"
+		if !r.ConstraintMet {
+			ok = "X"
+		}
+		fmt.Fprintf(&b, "%-16s %10.2f %8s %12.2f\n", r.Policy, r.P99, ok, r.Throughput)
+	}
+	return b.String()
+}
+
+// BuildSLAComparison runs SmartConf plus a static sweep.
+func BuildSLAComparison() []SLAResult {
+	out := []SLAResult{RunSLAScenario(SmartConf())}
+	for _, v := range []float64{30, 90, 180, 400} {
+		out = append(out, RunSLAScenario(Static(v)))
+	}
+	return out
+}
+
+// --- Extension 2: distributed deployment ---
+//
+// §6.6: "in distributed environment, additional inter-node communication may
+// be required for some performance measurement and configuration
+// adjustment". Here each node runs its OWN controller instance synthesized
+// from the SAME profile — the natural scale-out — and every node must hold
+// its local memory constraint while an imbalanced load balancer skews
+// traffic across them.
+
+// DistributedResult summarizes the multi-node run.
+type DistributedResult struct {
+	Nodes         int
+	ConstraintMet bool
+	Violations    []string
+	// PerNodeKnob is each node's final queue bound — they differ because the
+	// load differs, which is exactly why one global static value cannot fit.
+	PerNodeKnob []int
+	Throughput  float64
+}
+
+// RunDistributedHB3813 runs nodes RPC servers behind a skewed balancer, one
+// controller per node.
+func RunDistributedHB3813(nodes int) DistributedResult {
+	s := sim.New()
+	rng := rand.New(rand.NewSource(4444))
+	profile := publicProfile(ProfileHB3813())
+
+	servers := make([]*rpcserver.Server, nodes)
+	heaps := make([]*memsim.Heap, nodes)
+	res := DistributedResult{Nodes: nodes, ConstraintMet: true}
+	for i := 0; i < nodes; i++ {
+		i := i
+		heaps[i] = memsim.NewHeap(rpcHeapCapacity)
+		servers[i] = rpcserver.New(s, heaps[i], rpcConfig())
+		servers[i].SetMaxQueue(0)
+		ic, err := smartconf.NewIndirect(smartconf.Spec{
+			Name:   fmt.Sprintf("node%d/ipc.server.max.queue.size", i),
+			Metric: "memory_consumption",
+			Goal:   float64(rpcMemoryGoal),
+			Hard:   true,
+			Min:    0, Max: 5000,
+		}, profile, nil)
+		if err != nil {
+			panic(err)
+		}
+		sv, heap := servers[i], heaps[i]
+		sv.BeforeAdmit = func() {
+			ic.SetPerf(float64(heap.Used()), float64(sv.QueueLen()))
+			sv.SetMaxQueue(ic.Conf())
+		}
+		heapNoise(s, heap, rand.New(rand.NewSource(int64(100+i))), rpcNoiseMax, 400*time.Second)
+	}
+
+	// Skewed dispatch: node 0 receives ~half the traffic, the rest split the
+	// remainder — a common hot-shard pattern.
+	pick := func() int {
+		if rng.Float64() < 0.5 || nodes == 1 {
+			return 0
+		}
+		return 1 + rng.Intn(nodes-1)
+	}
+	w := &rpcWorkload{
+		gen: workload.NewYCSB(4445, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 * mb}),
+		// Aggregate offered load scales with the cluster.
+		burstSize:  hb3813BurstSize * nodes / 2,
+		burstEvery: hb3813BurstEvery,
+		spacing:    hb3813Spacing,
+		phases:     []workload.YCSBPhase{{Name: "steady", WriteRatio: 1, RequestBytes: 1 * mb}},
+	}
+	w.run(s, 400*time.Second, rng, func(op workload.Op) { servers[pick()].Offer(op) })
+	s.RunUntil(400 * time.Second)
+
+	var completed int64
+	for i, sv := range servers {
+		completed += sv.Completed()
+		res.PerNodeKnob = append(res.PerNodeKnob, sv.MaxQueue())
+		if heaps[i].OOM() {
+			res.ConstraintMet = false
+			res.Violations = append(res.Violations, fmt.Sprintf("node %d OOM", i))
+		}
+	}
+	res.Throughput = float64(completed) / 400
+	return res
+}
+
+// RenderDistributed formats the multi-node run.
+func RenderDistributed(r DistributedResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: %d-node cluster, one controller per node, skewed load\n", r.Nodes)
+	if r.ConstraintMet {
+		fmt.Fprintf(&b, "  every node held its memory constraint; %.2f ops/s aggregate\n", r.Throughput)
+	} else {
+		fmt.Fprintf(&b, "  VIOLATIONS: %s\n", strings.Join(r.Violations, ", "))
+	}
+	fmt.Fprintf(&b, "  per-node queue bounds (hot node first): %v\n", r.PerNodeKnob)
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSLAScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension scenario")
+	}
+	results := BuildSLAComparison()
+	var smart SLAResult
+	var bestStatic *SLAResult
+	for i, r := range results {
+		t.Logf("%v: p99=%.2fs met=%v tput=%.2f", r.Policy, r.P99, r.ConstraintMet, r.Throughput)
+		if r.Policy.Kind == SmartConfPolicy {
+			smart = r
+		} else if r.ConstraintMet && (bestStatic == nil || r.Throughput > bestStatic.Throughput) {
+			bestStatic = &results[i]
+		}
+	}
+	if !smart.ConstraintMet {
+		t.Errorf("SmartConf missed the SLA: p99 = %.2fs", smart.P99)
+	}
+	if bestStatic != nil && smart.Throughput < 0.95*bestStatic.Throughput {
+		t.Errorf("SmartConf throughput %.2f well below best SLA-safe static %.2f",
+			smart.Throughput, bestStatic.Throughput)
+	}
+	if out := RenderSLA(results); !strings.Contains(out, "SLA") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestDistributedHB3813(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension scenario")
+	}
+	r := RunDistributedHB3813(4)
+	if !r.ConstraintMet {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if len(r.PerNodeKnob) != 4 {
+		t.Fatalf("knobs = %v", r.PerNodeKnob)
+	}
+	// The hot node (index 0, ~50% of traffic) must end with a working bound;
+	// per-node controllers land on different values because load differs.
+	same := true
+	for _, k := range r.PerNodeKnob[1:] {
+		if k != r.PerNodeKnob[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("all nodes landed on identical bounds %v — skew invisible?", r.PerNodeKnob)
+	}
+	t.Logf("per-node bounds: %v, aggregate %.2f ops/s", r.PerNodeKnob, r.Throughput)
+	if out := RenderDistributed(r); !strings.Contains(out, "4-node") {
+		t.Error("render incomplete")
+	}
+}

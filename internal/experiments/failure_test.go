@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"smartconf"
+	"smartconf/internal/memsim"
+	"smartconf/internal/rpcserver"
+	"smartconf/internal/sim"
+	"smartconf/internal/workload"
+)
+
+// Failure injection: the environment changes out from under the controller.
+
+// injectHB3813 runs the HB3813 plant with an injected fault at faultTime.
+func injectHB3813(t *testing.T, fault func(heap *memsim.Heap, ic *smartconf.IndirectConf)) (oom bool, oomAt time.Duration, completed int64) {
+	t.Helper()
+	s := sim.New()
+	rng := rand.New(rand.NewSource(4242))
+	heap := memsim.NewHeap(rpcHeapCapacity)
+	sv := rpcserver.New(s, heap, rpcConfig())
+	sv.SetMaxQueue(0)
+
+	ic, err := smartconf.NewIndirect(smartconf.Spec{
+		Name:   "ipc.server.max.queue.size",
+		Metric: "memory_consumption",
+		Goal:   float64(rpcMemoryGoal),
+		Hard:   true,
+		Min:    0, Max: 5000,
+	}, publicProfile(ProfileHB3813()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.BeforeAdmit = func() {
+		ic.SetPerf(float64(heap.Used()), float64(sv.QueueLen()))
+		sv.SetMaxQueue(ic.Conf())
+	}
+
+	const runTime = 500 * time.Second
+	heapNoise(s, heap, rng, rpcNoiseMax, runTime)
+	heap.OnOOM(func() { oom, oomAt = true, s.Now() })
+
+	s.At(250*time.Second, func() { fault(heap, ic) })
+
+	w := &rpcWorkload{
+		gen:        workload.NewYCSB(4242, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 << 20}),
+		burstSize:  hb3813BurstSize,
+		burstEvery: hb3813BurstEvery,
+		spacing:    hb3813Spacing,
+		phases:     []workload.YCSBPhase{{Name: "steady", WriteRatio: 1, RequestBytes: 1 << 20}},
+	}
+	w.run(s, runTime, rng, func(op workload.Op) { sv.Offer(op) })
+	s.RunUntil(runTime)
+	return oom, oomAt, sv.Completed()
+}
+
+// TestFailureInjectionCapacityDropWithGoalUpdate: the heap budget shrinks
+// mid-run (a co-tenant claims 130 MB) and the administrator lowers the goal
+// accordingly through setGoal — SmartConf re-converges with no OOM.
+func TestFailureInjectionCapacityDropWithGoalUpdate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failure injection")
+	}
+	oom, at, completed := injectHB3813(t, func(heap *memsim.Heap, ic *smartconf.IndirectConf) {
+		heap.SetCapacity(382 * mb)
+		ic.SetGoal(float64(365 * mb))
+	})
+	if oom {
+		t.Fatalf("OOM at %v despite the goal update", at)
+	}
+	if completed == 0 {
+		t.Fatal("no work completed")
+	}
+}
+
+// TestFailureInjectionCapacityDropWithoutGoalUpdate documents the contract:
+// if the physical budget shrinks below the declared goal and nobody updates
+// the goal, the controller keeps targeting a now-impossible constraint and
+// the system dies. (SmartConf controls toward what users DECLARE; it cannot
+// know the heap itself shrank.)
+func TestFailureInjectionCapacityDropWithoutGoalUpdate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failure injection")
+	}
+	oom, at, _ := injectHB3813(t, func(heap *memsim.Heap, ic *smartconf.IndirectConf) {
+		heap.SetCapacity(382 * mb) // far below the still-declared 495 MB goal
+	})
+	if !oom {
+		t.Fatal("expected OOM when the goal is left stale")
+	}
+	if at < 250*time.Second {
+		t.Errorf("OOM at %v predates the injected fault", at)
+	}
+}
+
+// TestFailureInjectionSensorOutage: SetPerf stops being called (a sensor
+// outage). The knob must freeze at its last value rather than drift, and
+// the system keeps serving.
+func TestFailureInjectionSensorOutage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failure injection")
+	}
+	s := sim.New()
+	rng := rand.New(rand.NewSource(77))
+	heap := memsim.NewHeap(rpcHeapCapacity)
+	sv := rpcserver.New(s, heap, rpcConfig())
+	sv.SetMaxQueue(0)
+	ic, err := smartconf.NewIndirect(smartconf.Spec{
+		Name: "q", Metric: "memory_consumption",
+		Goal: float64(rpcMemoryGoal), Hard: true, Min: 0, Max: 5000,
+	}, publicProfile(ProfileHB3813()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensorAlive := true
+	var frozenAt float64
+	sv.BeforeAdmit = func() {
+		if sensorAlive {
+			ic.SetPerf(float64(heap.Used()), float64(sv.QueueLen()))
+		}
+		limit := ic.Conf() // without fresh SetPerf this must be a no-op read
+		sv.SetMaxQueue(limit)
+	}
+	s.At(200*time.Second, func() {
+		sensorAlive = false
+		frozenAt = float64(sv.MaxQueue())
+	})
+
+	const runTime = 400 * time.Second
+	heapNoise(s, heap, rng, rpcNoiseMax, runTime)
+	w := &rpcWorkload{
+		gen:        workload.NewYCSB(78, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 << 20}),
+		burstSize:  hb3813BurstSize,
+		burstEvery: hb3813BurstEvery,
+		spacing:    hb3813Spacing,
+		phases:     []workload.YCSBPhase{{Name: "steady", WriteRatio: 1, RequestBytes: 1 << 20}},
+	}
+	w.run(s, runTime, rng, func(op workload.Op) { sv.Offer(op) })
+	s.RunUntil(runTime)
+
+	if heap.OOM() {
+		t.Fatal("OOM during sensor outage (steady workload)")
+	}
+	if got := float64(sv.MaxQueue()); got != frozenAt {
+		t.Errorf("knob drifted during outage: %v → %v", frozenAt, got)
+	}
+	if sv.Completed() == 0 {
+		t.Error("no work completed")
+	}
+}
+
+// TestFailureInjectionWorkloadSpike: a 4× burst spike arrives without any
+// profiling evidence for it; the hard-goal machinery must still prevent OOM.
+func TestFailureInjectionWorkloadSpike(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failure injection")
+	}
+	s := sim.New()
+	rng := rand.New(rand.NewSource(99))
+	heap := memsim.NewHeap(rpcHeapCapacity)
+	sv := rpcserver.New(s, heap, rpcConfig())
+	sv.SetMaxQueue(0)
+	ic, err := smartconf.NewIndirect(smartconf.Spec{
+		Name: "q", Metric: "memory_consumption",
+		Goal: float64(rpcMemoryGoal), Hard: true, Min: 0, Max: 5000,
+	}, publicProfile(ProfileHB3813()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.BeforeAdmit = func() {
+		ic.SetPerf(float64(heap.Used()), float64(sv.QueueLen()))
+		sv.SetMaxQueue(ic.Conf())
+	}
+	const runTime = 400 * time.Second
+	heapNoise(s, heap, rng, rpcNoiseMax, runTime)
+	gen := workload.NewYCSB(100, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 << 20})
+	s.Every(0, hb3813BurstEvery, func() bool {
+		n := hb3813BurstSize
+		if s.Now() > 200*time.Second && s.Now() < 250*time.Second {
+			n *= 4 // the spike
+		}
+		for i := 0; i < n; i++ {
+			op := gen.NextOp()
+			s.After(time.Duration(i)*hb3813Spacing, func() { sv.Offer(op) })
+		}
+		return s.Now() < runTime
+	})
+	s.RunUntil(runTime)
+	if heap.OOM() {
+		t.Fatal("OOM under the unprofiled workload spike")
+	}
+}
+
+// TestSoakTwoHours runs the HB3813 controller for two hours of virtual time
+// under the steady workload: the constraint must hold throughout and the
+// knob must not drift (integrator windup, slow leaks in the model state, or
+// accounting bugs in the substrate would all surface over this horizon).
+func TestSoakTwoHours(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	s := sim.New()
+	rng := rand.New(rand.NewSource(314))
+	heap := memsim.NewHeap(rpcHeapCapacity)
+	sv := rpcserver.New(s, heap, rpcConfig())
+	sv.SetMaxQueue(0)
+	ic, err := smartconf.NewIndirect(smartconf.Spec{
+		Name: "q", Metric: "memory_consumption",
+		Goal: float64(rpcMemoryGoal), Hard: true, Min: 0, Max: 5000,
+	}, publicProfile(ProfileHB3813()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.BeforeAdmit = func() {
+		ic.SetPerf(float64(heap.Used()), float64(sv.QueueLen()))
+		sv.SetMaxQueue(ic.Conf())
+	}
+
+	const runTime = 2 * time.Hour
+	heapNoise(s, heap, rng, rpcNoiseMax, runTime)
+	var knobAtHour float64
+	s.At(time.Hour, func() { knobAtHour = float64(sv.MaxQueue()) })
+	w := &rpcWorkload{
+		gen:        workload.NewYCSB(315, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 << 20}),
+		burstSize:  hb3813BurstSize,
+		burstEvery: hb3813BurstEvery,
+		spacing:    hb3813Spacing,
+		phases:     []workload.YCSBPhase{{Name: "steady", WriteRatio: 1, RequestBytes: 1 << 20}},
+	}
+	w.run(s, runTime, rng, func(op workload.Op) { sv.Offer(op) })
+	s.RunUntil(runTime)
+
+	if heap.OOM() {
+		t.Fatal("OOM during the soak")
+	}
+	if sv.Crashed() {
+		t.Fatal("server crashed")
+	}
+	final := float64(sv.MaxQueue())
+	if knobAtHour == 0 || final == 0 {
+		t.Fatalf("knob collapsed: 1h=%v end=%v", knobAtHour, final)
+	}
+	drift := final/knobAtHour - 1
+	if drift > 0.5 || drift < -0.5 {
+		t.Errorf("knob drifted %.0f%% over the second hour (%v → %v)", 100*drift, knobAtHour, final)
+	}
+	if got := sv.Completed(); got < 100_000 {
+		t.Errorf("only %d ops in two hours — throughput collapsed", got)
+	}
+}

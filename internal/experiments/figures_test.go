@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFigure5ShapeMatchesPaper asserts the paper's headline qualitative
+// results (§6.2, §6.3):
+//  1. SmartConf satisfies the constraint in all six issues.
+//  2. Every buggy default fails.
+//  3. The patched defaults still fail in the four issues the paper lists
+//     (HB3813, HB6728, HD4995, MR2820) and pass in the other two.
+//  4. SmartConf's trade-off beats the best static configuration everywhere.
+func TestFigure5ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation sweep")
+	}
+	rows := BuildFigure5()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	patchShouldFail := map[string]bool{
+		"CA6059": false, "HB2149": false,
+		"HB3813": true, "HB6728": true, "HD4995": true, "MR2820": true,
+	}
+	for _, row := range rows {
+		bars := map[string]Figure5Bar{}
+		for _, bar := range row.Bars {
+			bars[bar.Label] = bar
+		}
+		smart := bars["SmartConf"]
+		if !smart.ConstraintMet {
+			t.Errorf("%s: SmartConf violated the constraint (%s)", row.Issue, smart.Result.Violation)
+		}
+		if !bars["Static-Optimal"].ConstraintMet {
+			t.Errorf("%s: no safe static setting found — sweep broken", row.Issue)
+		}
+		if bars["Static-Buggy-Default"].ConstraintMet {
+			t.Errorf("%s: buggy default unexpectedly satisfied the constraint", row.Issue)
+		}
+		if got, want := bars["Static-Patch-Default"].ConstraintMet, !patchShouldFail[row.Issue]; got != want {
+			t.Errorf("%s: patched default constraint-met = %v, want %v", row.Issue, got, want)
+		}
+		if smart.Speedup <= 1.0 {
+			t.Errorf("%s: SmartConf speedup %.2fx does not beat the best static", row.Issue, smart.Speedup)
+		}
+		t.Logf("%s: SmartConf %.2fx over static-optimal (%s=%s)",
+			row.Issue, smart.Speedup, row.Issue, humanSetting(row.Optimal.Policy.Static))
+	}
+	out := RenderFigure5(rows)
+	if !strings.Contains(out, "SmartConf") || !strings.Contains(out, "X") {
+		t.Error("render is missing expected content")
+	}
+}
+
+func TestFigure6CaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	f := BuildFigure6()
+	if !f.SmartConf.ConstraintMet {
+		t.Fatalf("SmartConf violated: %s", f.SmartConf.Violation)
+	}
+	if f.VirtualGoal >= f.Goal || f.VirtualGoal <= 0 {
+		t.Errorf("virtual goal %v not strictly inside (0, %v)", f.VirtualGoal, f.Goal)
+	}
+	// The knob must adapt: larger before the shift than after (phase 2
+	// requests are twice the size).
+	knob, _ := f.SmartConf.SeriesByName("max.queue.size")
+	before, after := knob.At(300*time.Second), knob.At(690*time.Second)
+	if before <= after {
+		t.Errorf("knob did not adapt across the workload shift: %v → %v", before, after)
+	}
+	if f.SmartConf.Speedup(f.Static) <= 1 {
+		t.Errorf("SmartConf %.2f ops/s did not beat static %.2f ops/s",
+			f.SmartConf.Tradeoff, f.Static.Tradeoff)
+	}
+	if out := RenderFigure6(f); !strings.Contains(out, "virtual goal") {
+		t.Error("render missing annotations")
+	}
+}
+
+// TestFigure7AblationMatchesPaper asserts §6.4: both alternative controllers
+// OOM under the unstable workload, SmartConf does not, and the
+// no-virtual-goal variant dies before the single-pole variant (the paper's
+// 36 s vs 80 s ordering).
+func TestFigure7AblationMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	f := BuildFigure7()
+	if !f.SmartConf.ConstraintMet {
+		t.Errorf("SmartConf violated: %s at %v", f.SmartConf.Violation, f.SmartConf.ViolatedAt)
+	}
+	if f.SinglePole.ConstraintMet {
+		t.Error("single-pole controller unexpectedly survived")
+	}
+	if f.NoVirtualGoal.ConstraintMet {
+		t.Error("no-virtual-goal controller unexpectedly survived")
+	}
+	if f.SinglePole.ViolatedAt != 0 && f.NoVirtualGoal.ViolatedAt != 0 &&
+		f.NoVirtualGoal.ViolatedAt >= f.SinglePole.ViolatedAt {
+		t.Errorf("no-virtual-goal (%v) should fail before single-pole (%v)",
+			f.NoVirtualGoal.ViolatedAt, f.SinglePole.ViolatedAt)
+	}
+	t.Logf("OOM times: single-pole %v, no-virtual-goal %v",
+		f.SinglePole.ViolatedAt, f.NoVirtualGoal.ViolatedAt)
+	if out := RenderFigure7(f); !strings.Contains(out, "FAILS") {
+		t.Error("render missing failure annotations")
+	}
+}
+
+// TestFigure8InteractingControllers asserts §6.5's composition result: two
+// controllers on one super-hard goal never violate the memory constraint,
+// and both knobs are throttled once the second workload arrives.
+func TestFigure8InteractingControllers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	f := BuildFigure8()
+	if f.OOM {
+		t.Fatalf("OOM at %v with interacting controllers", f.OOMAt)
+	}
+	if max := f.Mem.Max(); max > f.Goal {
+		t.Errorf("memory peaked at %.0fMB, above the %.0fMB constraint",
+			max/float64(mb), f.Goal/float64(mb))
+	}
+	if f.Completed == 0 {
+		t.Error("no calls completed")
+	}
+	// After the reads join, the request-queue bound must come down from its
+	// write-only level to make room for responses.
+	if before, after := f.ReqKnob.At(45*time.Second), f.ReqKnob.At(200*time.Second); after >= before {
+		t.Errorf("request bound did not yield to the read workload: %v → %v", before, after)
+	}
+	if out := RenderFigure8(f); !strings.Contains(out, "never exceeded") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestTable6Render(t *testing.T) {
+	out := RenderTable6()
+	for _, sc := range Scenarios() {
+		if !strings.Contains(out, sc.ID) || !strings.Contains(out, sc.Conf) {
+			t.Errorf("Table 6 missing %s", sc.ID)
+		}
+	}
+}
+
+func TestTable7CountsIntegrationMarkers(t *testing.T) {
+	rows, err := CountIntegrationLoC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIssue := map[string]LoCRow{}
+	for _, r := range rows {
+		byIssue[r.Issue] = r
+	}
+	for _, id := range []string{"CA6059", "HB2149", "HB3813", "HB6728", "HD4995", "MR2820"} {
+		r, ok := byIssue[id]
+		if !ok {
+			t.Errorf("no integration markers for %s", id)
+			continue
+		}
+		if r.Total() == 0 || r.Sensor == 0 {
+			t.Errorf("%s: implausible marker counts %+v", id, r)
+		}
+	}
+	out, err := RenderTable7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Sensor") || !strings.Contains(out, "MR2820") {
+		t.Errorf("Table 7 render:\n%s", out)
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, sc := range Scenarios() {
+		if sc.Run == nil || sc.ID == "" {
+			t.Errorf("incomplete scenario %+v", sc.ID)
+		}
+		ids[sc.ID] = true
+		got, ok := ScenarioByID(sc.ID)
+		if !ok || got.ID != sc.ID {
+			t.Errorf("ScenarioByID(%s) failed", sc.ID)
+		}
+	}
+	if len(ids) != 6 {
+		t.Errorf("scenarios = %d, want 6", len(ids))
+	}
+	if _, ok := ScenarioByID("nope"); ok {
+		t.Error("ScenarioByID should miss unknown ids")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	hi := Result{Tradeoff: 10, HigherIsBetter: true, ConstraintMet: true}
+	lo := Result{Tradeoff: 5, HigherIsBetter: true, ConstraintMet: true}
+	if !hi.BetterThan(lo) || lo.BetterThan(hi) {
+		t.Error("higher-is-better comparison broken")
+	}
+	if s := hi.Speedup(lo); s != 2 {
+		t.Errorf("speedup = %v, want 2", s)
+	}
+	// Lower-is-better inverts.
+	a := Result{Tradeoff: 5, HigherIsBetter: false, ConstraintMet: true}
+	c := Result{Tradeoff: 10, HigherIsBetter: false, ConstraintMet: true}
+	if !a.BetterThan(c) {
+		t.Error("lower-is-better comparison broken")
+	}
+	if s := a.Speedup(c); s != 2 {
+		t.Errorf("speedup = %v, want 2", s)
+	}
+	// A violating result never beats a satisfying one.
+	bad := Result{Tradeoff: 100, HigherIsBetter: true, ConstraintMet: false}
+	if bad.BetterThan(lo) || !lo.BetterThan(bad) {
+		t.Error("constraint violations must dominate comparisons")
+	}
+	// Series helpers.
+	s := Series{Points: []Point{{1 * time.Second, 1}, {3 * time.Second, 5}}}
+	if s.At(2*time.Second) != 1 || s.At(4*time.Second) != 5 || s.At(0) != 0 {
+		t.Error("Series.At broken")
+	}
+	if s.Max() != 5 {
+		t.Error("Series.Max broken")
+	}
+	if (Series{}).Max() != 0 {
+		t.Error("empty Series.Max should be 0")
+	}
+	if p := (Policy{Kind: SinglePolePolicy}); p.String() != "SinglePole" {
+		t.Errorf("policy string %q", p)
+	}
+	if _, ok := hi.SeriesByName("nope"); ok {
+		t.Error("SeriesByName should miss")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Series{Points: []Point{
+		{1 * time.Second, 0}, {2 * time.Second, 5}, {3 * time.Second, 10},
+	}}
+	sp := sparkline(s, 10, 3*time.Second)
+	if len([]rune(sp)) != 10 {
+		t.Fatalf("width = %d, want 10 (%q)", len([]rune(sp)), sp)
+	}
+	runes := []rune(sp)
+	if runes[0] == runes[len(runes)-1] {
+		t.Errorf("rising series rendered flat: %q", sp)
+	}
+	if sparkline(Series{}, 10, time.Second) != "" {
+		t.Error("empty series should render empty")
+	}
+	if sparkline(s, 0, time.Second) != "" {
+		t.Error("zero width should render empty")
+	}
+	// Constant series renders all-minimum without dividing by zero.
+	flat := Series{Points: []Point{{time.Second, 3}, {2 * time.Second, 3}}}
+	if got := sparkline(flat, 5, 2*time.Second); len([]rune(got)) != 5 {
+		t.Errorf("flat sparkline = %q", got)
+	}
+	if endOf(s) != 3*time.Second || endOf(Series{}) != 0 {
+		t.Error("endOf broken")
+	}
+}

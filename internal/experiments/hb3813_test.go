@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHB3813ProfileShape(t *testing.T) {
+	p := ProfileHB3813()
+	if len(p.Settings) != 4 || p.TotalSamples() != 40 {
+		t.Fatalf("profile: %d settings, %d samples", len(p.Settings), p.TotalSamples())
+	}
+	m, err := p.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heap grows with the queue bound: positive slope, order of the request
+	// size (1 MB/item, attenuated by partial queue occupancy at enqueue).
+	if m.Alpha < 0.05e6 || m.Alpha > 2.5e6 {
+		t.Errorf("α = %v bytes/item, want ≈1MB/item scale", m.Alpha)
+	}
+	lambda := p.Lambda()
+	if lambda <= 0 || lambda > 0.5 {
+		t.Errorf("λ = %v, want small positive", lambda)
+	}
+	t.Logf("model %v, λ=%.3f, Δ=%.2f, pole=%.3f", m, lambda, p.Delta(), 1-2/p.Delta())
+}
+
+func TestHB3813BuggyDefaultOOMs(t *testing.T) {
+	res := RunHB3813(Static(1000))
+	if res.ConstraintMet || res.Violation != "OOM" {
+		t.Fatalf("buggy default should OOM: %+v", res.Violation)
+	}
+	if res.ViolatedAt > hb3813PhaseShift {
+		t.Errorf("buggy default should die in phase 1, died at %v", res.ViolatedAt)
+	}
+}
+
+func TestHB3813PatchDefaultFailsPhase2(t *testing.T) {
+	res := RunHB3813(Static(100))
+	if res.ConstraintMet {
+		t.Fatal("patched default should still fail in phase 2")
+	}
+	if res.ViolatedAt < hb3813PhaseShift {
+		t.Errorf("patched default should survive phase 1, failed at %v", res.ViolatedAt)
+	}
+}
+
+func TestHB3813ConservativeStaticMeetsConstraint(t *testing.T) {
+	res := RunHB3813(Static(75))
+	if !res.ConstraintMet {
+		t.Fatalf("static 75 should be safe: violated at %v (%s)", res.ViolatedAt, res.Violation)
+	}
+	if res.Tradeoff <= 0 {
+		t.Error("no throughput recorded")
+	}
+}
+
+func TestHB3813SmartConfMeetsConstraintAndBeatsStatic(t *testing.T) {
+	sc := RunHB3813(SmartConf())
+	if !sc.ConstraintMet {
+		t.Fatalf("SmartConf violated the constraint at %v (%s)", sc.ViolatedAt, sc.Violation)
+	}
+	// Find the best static setting that satisfies the constraint.
+	grid := HB3813Scenario().StaticGrid
+	var best Result
+	for _, v := range grid {
+		r := RunHB3813(Static(v))
+		if r.ConstraintMet && (best.Policy.Kind != StaticPolicy || r.Tradeoff > best.Tradeoff) {
+			best = r
+		}
+	}
+	if best.Policy.Kind != StaticPolicy {
+		t.Fatal("no static setting satisfied the constraint — calibration broken")
+	}
+	speedup := sc.Speedup(best)
+	t.Logf("SmartConf %.2f ops/s vs best static %v %.2f ops/s → speedup %.2f×",
+		sc.Tradeoff, best.Policy, best.Tradeoff, speedup)
+	if speedup < 1.05 {
+		t.Errorf("SmartConf speedup %.2f× over best static; paper reports ≈1.36×", speedup)
+	}
+	// The knob must adapt across phases: higher in phase 1 than phase 2.
+	knob, _ := sc.SeriesByName("max.queue.size")
+	p1 := knob.At(190 * time.Second)
+	p2 := knob.At(690 * time.Second)
+	if p1 <= p2 {
+		t.Errorf("knob did not adapt: phase1=%v phase2=%v", p1, p2)
+	}
+}

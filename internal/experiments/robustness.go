@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"smartconf"
+	"smartconf/internal/memsim"
+	"smartconf/internal/rpcserver"
+	"smartconf/internal/sim"
+	"smartconf/internal/workload"
+)
+
+// The paper (§6.1): "SmartConf works in a wide variety of workload settings,
+// but we do not have space to show that." This sweep shows it: ONE profile
+// (the standard HB3813 campaign) synthesizes ONE controller configuration,
+// which is then run against a grid of workloads it has never seen — varying
+// burst size, cadence, request size, and write mix. The hard memory
+// constraint must hold on every cell.
+
+// RobustnessCell is one grid point.
+type RobustnessCell struct {
+	BurstSize     int
+	BurstEverySec float64
+	RequestMB     float64
+	WriteRatio    float64
+	ConstraintMet bool
+	Violation     string
+	Throughput    float64
+}
+
+// RobustnessGrid returns the workload grid.
+func RobustnessGrid() []RobustnessCell {
+	var cells []RobustnessCell
+	for _, burst := range []int{150, 300, 450} {
+		for _, every := range []float64{5, 7.5, 12.5} {
+			for _, reqMB := range []float64{0.5, 1, 2} {
+				for _, writes := range []float64{1.0, 0.7} {
+					cells = append(cells, RobustnessCell{
+						BurstSize: burst, BurstEverySec: every,
+						RequestMB: reqMB, WriteRatio: writes,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// RunRobustnessSweep executes every grid cell with the one profiled
+// controller and fills in the outcomes.
+func RunRobustnessSweep() []RobustnessCell {
+	profile := publicProfile(ProfileHB3813())
+	cells := RobustnessGrid()
+	for i := range cells {
+		cells[i] = runRobustnessCell(profile, cells[i])
+	}
+	return cells
+}
+
+func runRobustnessCell(profile *smartconf.Profile, cell RobustnessCell) RobustnessCell {
+	s := sim.New()
+	rng := rand.New(rand.NewSource(int64(cell.BurstSize)*1000 + int64(cell.BurstEverySec*10)))
+	heap := memsim.NewHeap(rpcHeapCapacity)
+	sv := rpcserver.New(s, heap, rpcConfig())
+	sv.SetMaxQueue(0)
+
+	ic, err := smartconf.NewIndirect(smartconf.Spec{
+		Name:   "ipc.server.max.queue.size",
+		Metric: "memory_consumption",
+		Goal:   float64(rpcMemoryGoal),
+		Hard:   true,
+		Min:    0, Max: 5000,
+	}, profile, nil)
+	if err != nil {
+		panic(err)
+	}
+	sv.BeforeAdmit = func() {
+		ic.SetPerf(float64(heap.Used()), float64(sv.QueueLen()))
+		sv.SetMaxQueue(ic.Conf())
+	}
+
+	const runTime = 300 * time.Second
+	heapNoise(s, heap, rng, rpcNoiseMax, runTime)
+	var oomAt time.Duration
+	heap.OnOOM(func() { oomAt = s.Now() })
+
+	memS := Series{Name: "used_memory"}
+	s.Every(time.Second, time.Second, func() bool {
+		memS.Points = append(memS.Points, Point{s.Now(), float64(heap.Used())})
+		return s.Now() < runTime && !heap.OOM()
+	})
+
+	w := &rpcWorkload{
+		gen: workload.NewYCSB(1, 1000, workload.YCSBPhase{
+			WriteRatio:   cell.WriteRatio,
+			RequestBytes: int64(cell.RequestMB * float64(mb)),
+		}),
+		burstSize:  cell.BurstSize,
+		burstEvery: time.Duration(cell.BurstEverySec * float64(time.Second)),
+		spacing:    2 * time.Millisecond,
+		phases: []workload.YCSBPhase{{
+			Name:         "cell",
+			WriteRatio:   cell.WriteRatio,
+			RequestBytes: int64(cell.RequestMB * float64(mb)),
+		}},
+	}
+	w.run(s, runTime, rng, func(op workload.Op) { sv.Offer(op) })
+	s.RunUntil(runTime)
+
+	met, at, worst := evalUpperBound(memS, func(time.Duration) float64 { return float64(rpcMemoryGoal) })
+	switch {
+	case heap.OOM():
+		cell.ConstraintMet = false
+		cell.Violation = fmt.Sprintf("OOM at %.0fs", oomAt.Seconds())
+	case !met:
+		cell.ConstraintMet = false
+		cell.Violation = fmt.Sprintf("memory %.0fMB at %.0fs", worst/float64(mb), at.Seconds())
+	default:
+		cell.ConstraintMet = true
+	}
+	cell.Throughput = float64(sv.Completed()) / runTime.Seconds()
+	return cell
+}
+
+// RenderRobustness formats the sweep.
+func RenderRobustness(cells []RobustnessCell) string {
+	var b strings.Builder
+	ok := 0
+	for _, c := range cells {
+		if c.ConstraintMet {
+			ok++
+		}
+	}
+	fmt.Fprintf(&b, "Workload-robustness sweep (HB3813 controller, one profile, %d unseen workloads)\n", len(cells))
+	fmt.Fprintf(&b, "constraint held in %d/%d cells\n\n", ok, len(cells))
+	fmt.Fprintf(&b, "%7s %9s %7s %7s %8s %10s  %s\n",
+		"burst", "every(s)", "reqMB", "writes", "OK?", "ops/s", "violation")
+	for _, c := range cells {
+		mark := "ok"
+		if !c.ConstraintMet {
+			mark = "X"
+		}
+		fmt.Fprintf(&b, "%7d %9.1f %7.1f %7.1f %8s %10.2f  %s\n",
+			c.BurstSize, c.BurstEverySec, c.RequestMB, c.WriteRatio, mark, c.Throughput, c.Violation)
+	}
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"smartconf/internal/core"
+	"smartconf/internal/memsim"
+	"smartconf/internal/rpcserver"
+	"smartconf/internal/sim"
+	"smartconf/internal/workload"
+
+	smartconf "smartconf"
+)
+
+// Shared machinery for the RPC-server scenarios (HB3813, HB6728, and the
+// Figure 6–8 case studies).
+
+const (
+	mb = int64(1) << 20
+
+	// rpcHeapCapacity is the simulated region server's JVM heap; the user's
+	// memory goal (495 MB, as in Figure 6) sits just under it.
+	rpcHeapCapacity = 512 * mb
+	rpcMemoryGoal   = 495 * mb
+	// rpcBaseHeap models code/metadata/block-cache residency.
+	rpcBaseHeap = 280 * mb
+	// rpcNoiseMax bounds the random-walk footprint of "other objects".
+	rpcNoiseMax = 20 * mb
+)
+
+func rpcConfig() rpcserver.Config {
+	cfg := rpcserver.DefaultConfig()
+	cfg.BaseHeapBytes = rpcBaseHeap
+	cfg.MaxBatch = 4
+	return cfg
+}
+
+// rpcWorkload drives bursty YCSB traffic into the server: every burstEvery,
+// a burst of ~burstSize operations arrives back-to-back. Bursts are what
+// fill the call queue to its bound (and what OOM unbounded queues).
+type rpcWorkload struct {
+	gen        *workload.YCSB
+	burstSize  int
+	burstEvery time.Duration
+	// spacing is the gap between operations inside a burst (default 10 ms):
+	// bursts are fast relative to the drain rate but not instantaneous, so
+	// the controller can react while one is arriving.
+	spacing time.Duration
+	phases  []workload.YCSBPhase
+}
+
+// run starts the burst loop and the phase switcher; onOp receives each
+// operation.
+func (w *rpcWorkload) run(s *sim.Simulation, until time.Duration, rng *rand.Rand, onOp func(workload.Op)) {
+	spacing := w.spacing
+	if spacing <= 0 {
+		spacing = 10 * time.Millisecond
+	}
+	s.Every(0, w.burstEvery, func() bool {
+		if phase, _ := workload.PhaseAt(w.phases, s.Now()); phase.Name != w.gen.Phase().Name {
+			w.gen.SetPhase(phase)
+		}
+		n := w.burstSize + rng.Intn(w.burstSize/5+1) - w.burstSize/10 // ±10%
+		for i := 0; i < n; i++ {
+			op := w.gen.NextOp()
+			s.After(time.Duration(i)*spacing, func() { onOp(op) })
+		}
+		return s.Now() < until
+	})
+}
+
+// heapNoise injects the fluctuating "other objects" footprint: a bounded
+// random walk re-sampled every 500 ms. A failed noise allocation is an OOM
+// like any other.
+func heapNoise(s *sim.Simulation, heap *memsim.Heap, rng *rand.Rand, max int64, until time.Duration) {
+	var current int64
+	s.Every(250*time.Millisecond, 500*time.Millisecond, func() bool {
+		if heap.OOM() {
+			return false
+		}
+		delta := int64(rng.Intn(int(10*mb+1))) - 5*mb
+		next := current + delta
+		if next < 0 {
+			next = 0
+		}
+		if next > max {
+			next = max
+		}
+		if next > current {
+			if err := heap.Alloc(next - current); err != nil {
+				return false
+			}
+		} else {
+			heap.Free(current - next)
+		}
+		current = next
+		return s.Now() < until
+	})
+}
+
+// rpcProbe samples the scenario's time series once per second.
+type rpcProbe struct {
+	mem        Series
+	knob       Series
+	throughput Series
+	completed  Series
+}
+
+func startRPCProbe(s *sim.Simulation, heap *memsim.Heap, sv *rpcserver.Server, knob func() float64, knobName string, until time.Duration) *rpcProbe {
+	p := &rpcProbe{
+		mem:        Series{Name: "used_memory", Unit: "bytes"},
+		knob:       Series{Name: knobName, Unit: "items"},
+		throughput: Series{Name: "throughput", Unit: "ops/s"},
+		completed:  Series{Name: "completed_ops", Unit: "ops"},
+	}
+	s.Every(time.Second, time.Second, func() bool {
+		now := s.Now()
+		p.mem.Points = append(p.mem.Points, Point{now, float64(heap.Used())})
+		p.knob.Points = append(p.knob.Points, Point{now, knob()})
+		p.throughput.Points = append(p.throughput.Points, Point{now, sv.Throughput()})
+		p.completed.Points = append(p.completed.Points, Point{now, float64(sv.Completed())})
+		return now < until && !heap.OOM()
+	})
+	return p
+}
+
+// ablationController builds the Figure 7 controllers from the same
+// profiling data SmartConf synthesizes from. fixedPole > 0 pins the regular
+// pole (the paper uses 0.9 so two-pole switching is the only difference
+// between SmartConf and the single-pole baseline).
+func ablationController(kind PolicyKind, profile core.Profile, goal, fixedPole float64) (*core.Controller, error) {
+	model, err := profile.Fit()
+	if err != nil {
+		return nil, err
+	}
+	pole := core.PoleFromDelta(profile.Delta())
+	if fixedPole > 0 {
+		pole = fixedPole
+	}
+	lambda := profile.Lambda()
+	switch kind {
+	case SmartConfPolicy:
+		// Full SmartConf with a pinned regular pole: hard goal ⇒ virtual
+		// goal + danger-region pole 0.
+		return core.NewController(model, pole, lambda,
+			core.Goal{Metric: "memory", Target: goal, Hard: true},
+			core.Options{Min: 0, Max: 1e9})
+	case SinglePolePolicy:
+		// Same virtual goal as SmartConf, but the regular pole everywhere:
+		// model it as a SOFT goal whose target is the virtual goal (no
+		// danger-region switch ever happens).
+		target := core.VirtualGoal(goal, lambda, core.UpperBound)
+		return core.NewController(model, pole, lambda,
+			core.Goal{Metric: "memory", Target: target, Hard: false},
+			core.Options{Min: 0, Max: 1e9})
+	case NoVirtualGoalPolicy:
+		// Two-pole logic but targeting the REAL constraint: λ = 0 places the
+		// virtual goal exactly on the goal.
+		return core.NewController(model, pole, 0,
+			core.Goal{Metric: "memory", Target: goal, Hard: true},
+			core.Options{Min: 0, Max: 1e9})
+	default:
+		return nil, nil
+	}
+}
+
+// publicProfile converts an internal profile to the public API type.
+func publicProfile(p core.Profile) *smartconf.Profile {
+	out := smartconf.NewProfile()
+	for _, s := range p.Settings {
+		out.Add(s.Setting, s.Samples...)
+	}
+	return out
+}
+
+// evalUpperBound scans a metric series against a per-time goal and reports
+// the first violation.
+func evalUpperBound(series Series, goalAt func(t time.Duration) float64) (met bool, at time.Duration, worst float64) {
+	met = true
+	for _, p := range series.Points {
+		if p.V > goalAt(p.T) {
+			if met {
+				met = false
+				at = p.T
+			}
+			if p.V > worst {
+				worst = p.V
+			}
+		}
+	}
+	return met, at, worst
+}
+
+// core_PoleForTest exposes the synthesized pole for test logging.
+func core_PoleForTest(p core.Profile) float64 { return core.PoleFromDelta(p.Delta()) }

@@ -1,0 +1,355 @@
+package kvstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"smartconf/internal/memsim"
+	"smartconf/internal/sim"
+)
+
+func TestMemtableFlushCycle(t *testing.T) {
+	s := sim.New()
+	heap := memsim.NewHeap(1 << 30)
+	cfg := DefaultMemtableConfig()
+	st := NewMemtableStore(s, heap, cfg, 10<<20)
+
+	// Write 4 MB: below the freeze watermark (threshold/2), no flush.
+	s.At(0, func() {
+		for i := 0; i < 4; i++ {
+			st.Write(1 << 20)
+		}
+	})
+	s.RunUntil(time.Second)
+	if st.MemtableBytes() != 4<<20 {
+		t.Fatalf("memtable = %d, want 4MB", st.MemtableBytes())
+	}
+	// A fifth MB reaches threshold/2: the segment freezes and flushes in
+	// the background while new writes land in a fresh active segment.
+	s.At(time.Second, func() {
+		st.Write(1 << 20)
+		st.Write(1 << 20)
+	})
+	s.RunUntil(1100 * time.Millisecond)
+	if st.MemtableBytes() != 6<<20 {
+		t.Fatalf("memtable = %d, want frozen 5MB + active 1MB", st.MemtableBytes())
+	}
+	// After the flush drains, only the post-freeze byte remains.
+	s.RunUntil(60 * time.Second)
+	if got := st.MemtableBytes(); got != 1<<20 {
+		t.Errorf("memtable after flush = %d, want 1MB", got)
+	}
+	if st.Crashed() {
+		t.Error("unexpected crash")
+	}
+	// Heap accounting: base + remaining memtable.
+	want := cfg.BaseHeapBytes + 1<<20
+	if heap.Used() != want {
+		t.Errorf("heap = %d, want %d", heap.Used(), want)
+	}
+}
+
+func TestMemtableThrottlesAtThreshold(t *testing.T) {
+	s := sim.New()
+	heap := memsim.NewHeap(1 << 30)
+	cfg := DefaultMemtableConfig()
+	st := NewMemtableStore(s, heap, cfg, 10<<20)
+	s.At(0, func() {
+		// 5 MB freezes a segment; 10 more MB fill the new active segment to
+		// the threshold; further writes must throttle, so the memtable never
+		// exceeds threshold + one active segment's worth of committed bytes.
+		for i := 0; i < 20; i++ {
+			st.Write(1 << 20)
+		}
+	})
+	s.RunUntil(time.Second)
+	if st.StalledOps() == 0 {
+		t.Error("expected throttled writes at the threshold")
+	}
+	if st.MemtableBytes() > 15<<20 {
+		t.Errorf("memtable = %d, threshold stopped capping memory", st.MemtableBytes())
+	}
+	// Everything lands eventually, with the waiters paying wait latency.
+	s.RunUntil(5 * time.Minute)
+	if st.Writes() != 20 {
+		t.Errorf("writes = %d, want all 20 applied", st.Writes())
+	}
+	if st.WriteLatency().Worst() < cfg.FlushFixedOverhead/2 {
+		t.Errorf("throttled writes should carry wait latency, worst = %v", st.WriteLatency().Worst())
+	}
+}
+
+func TestMemtableSmallThresholdHurtsLatency(t *testing.T) {
+	run := func(threshold int64) time.Duration {
+		s := sim.New()
+		st := NewMemtableStore(s, memsim.NewHeap(4<<30), DefaultMemtableConfig(), threshold)
+		s.Every(0, 10*time.Millisecond, func() bool {
+			st.Write(1 << 20)
+			return s.Now() < 120*time.Second
+		})
+		s.RunUntil(120 * time.Second)
+		return st.WriteLatency().OverallMean()
+	}
+	small := run(8 << 20)
+	large := run(512 << 20)
+	if small <= large {
+		t.Errorf("small-memtable latency %v should exceed large-memtable %v", small, large)
+	}
+}
+
+func TestMemtableCacheGrowthCausesOOM(t *testing.T) {
+	// CA6059's failure mode: a generous memtable threshold is fine until the
+	// read cache grows and squeezes the heap.
+	s := sim.New()
+	heap := memsim.NewHeap(256 << 20)
+	st := NewMemtableStore(s, heap, DefaultMemtableConfig(), 192<<20)
+	st.SetCacheTarget(128 << 20)
+	s.Every(0, 5*time.Millisecond, func() bool {
+		st.Write(1 << 20)
+		st.Read(1 << 20)
+		return !st.Crashed() && s.Now() < 120*time.Second
+	})
+	s.RunUntil(120 * time.Second)
+	if !st.Crashed() || !heap.OOM() {
+		t.Error("expected OOM with oversized memtable + growing cache")
+	}
+}
+
+func TestMemtableCacheShrinksToTarget(t *testing.T) {
+	s := sim.New()
+	heap := memsim.NewHeap(1 << 30)
+	st := NewMemtableStore(s, heap, DefaultMemtableConfig(), 1<<30)
+	st.SetCacheTarget(10 << 20)
+	s.At(0, func() {
+		for i := 0; i < 20; i++ {
+			st.Read(1 << 20)
+		}
+	})
+	s.RunUntil(time.Second)
+	if st.CacheBytes() != 10<<20 {
+		t.Fatalf("cache = %d, want capped at 10MB", st.CacheBytes())
+	}
+	s.At(time.Second, func() {
+		st.SetCacheTarget(2 << 20)
+		st.Read(1) // next read applies the shrink
+	})
+	s.RunUntil(2 * time.Second)
+	if st.CacheBytes() != 2<<20 {
+		t.Errorf("cache after shrink = %d, want 2MB", st.CacheBytes())
+	}
+}
+
+func TestMemtableHooksAndSetters(t *testing.T) {
+	s := sim.New()
+	st := NewMemtableStore(s, memsim.NewHeap(1<<30), DefaultMemtableConfig(), 100)
+	calls := 0
+	st.BeforeWrite = func() { calls++ }
+	s.At(0, func() {
+		st.Write(10)
+		st.Write(10)
+	})
+	s.RunUntil(time.Second)
+	if calls != 2 {
+		t.Errorf("BeforeWrite fired %d times, want 2", calls)
+	}
+	st.SetThreshold(-5)
+	if st.Threshold() != 0 {
+		t.Errorf("negative threshold should clamp to 0, got %d", st.Threshold())
+	}
+}
+
+func TestMemstoreBlockingFlush(t *testing.T) {
+	s := sim.New()
+	heap := memsim.NewHeap(1 << 30)
+	cfg := DefaultMemstoreConfig()
+	cfg.UpperLimitBytes = 100 << 20
+	st := NewMemstore(s, heap, cfg, 0.5)
+
+	flushHook := 0
+	st.BeforeFlush = func() { flushHook++ }
+
+	s.Every(0, 10*time.Millisecond, func() bool {
+		st.Write(1 << 20)
+		return s.Now() < 60*time.Second
+	})
+	s.RunUntil(60 * time.Second)
+
+	if st.Flushes() == 0 || flushHook != int(st.Flushes()) {
+		t.Fatalf("flushes = %d, hook = %d", st.Flushes(), flushHook)
+	}
+	if st.Crashed() {
+		t.Fatal("unexpected crash")
+	}
+	// Block time ≈ fixed + 0.5·100MB/32MBps ≈ 0.5 + 1.56 ≈ 2.06 s.
+	worst := st.BlockTimes().Worst()
+	if worst < 1500*time.Millisecond || worst > 3*time.Second {
+		t.Errorf("worst block = %v, want ≈2s", worst)
+	}
+	if st.Writes() == 0 || st.Throughput() == 0 {
+		t.Error("no writes recorded")
+	}
+}
+
+func TestMemstoreBlockTimeScalesWithFraction(t *testing.T) {
+	run := func(fraction float64) time.Duration {
+		s := sim.New()
+		cfg := DefaultMemstoreConfig()
+		cfg.UpperLimitBytes = 64 << 20
+		st := NewMemstore(s, memsim.NewHeap(1<<30), cfg, fraction)
+		s.Every(0, 5*time.Millisecond, func() bool {
+			st.Write(1 << 20)
+			return s.Now() < 60*time.Second
+		})
+		s.RunUntil(60 * time.Second)
+		return st.BlockTimes().Worst()
+	}
+	small, large := run(0.1), run(0.9)
+	if large <= small {
+		t.Errorf("flushing 90%% (block %v) should block longer than 10%% (block %v)", large, small)
+	}
+}
+
+func TestMemstoreFrequentFlushesHurtThroughput(t *testing.T) {
+	run := func(fraction float64) int64 {
+		s := sim.New()
+		cfg := DefaultMemstoreConfig()
+		cfg.UpperLimitBytes = 64 << 20
+		st := NewMemstore(s, memsim.NewHeap(1<<30), cfg, fraction)
+		s.Every(0, 5*time.Millisecond, func() bool {
+			st.Write(1 << 20)
+			return s.Now() < 120*time.Second
+		})
+		s.RunUntil(120 * time.Second)
+		return st.Writes()
+	}
+	// Tiny flushes pay the fixed overhead constantly.
+	small, large := run(0.05), run(0.8)
+	if small >= large {
+		t.Errorf("tiny flushes: %d writes should be fewer than large flushes: %d", small, large)
+	}
+}
+
+func TestMemstoreRejectsWritesWhileBlocked(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultMemstoreConfig()
+	cfg.UpperLimitBytes = 10 << 20
+	st := NewMemstore(s, memsim.NewHeap(1<<30), cfg, 0.5)
+	s.At(0, func() {
+		if !st.Write(10 << 20) { // hits the watermark, blocks
+			t.Error("first write refused")
+		}
+		if !st.Blocked() {
+			t.Error("expected blocked after watermark")
+		}
+		if st.Write(1 << 20) {
+			t.Error("write during block should be refused")
+		}
+		if st.Write(1 << 20) {
+			t.Error("write during block should be refused")
+		}
+	})
+	s.RunUntil(30 * time.Second)
+	if st.Writes() != 1 || st.Rejected() != 2 {
+		t.Errorf("writes=%d rejected=%d, want 1/2", st.Writes(), st.Rejected())
+	}
+	if st.Blocked() {
+		t.Error("still blocked at end")
+	}
+	// The unblocked store accepts again.
+	s.At(31*time.Second, func() {
+		if !st.Write(1 << 20) {
+			t.Error("post-block write refused")
+		}
+	})
+	s.RunUntil(32 * time.Second)
+	if st.Writes() != 2 {
+		t.Errorf("writes = %d, want 2", st.Writes())
+	}
+}
+
+func TestMemstoreFractionClamp(t *testing.T) {
+	s := sim.New()
+	st := NewMemstore(s, memsim.NewHeap(1<<30), DefaultMemstoreConfig(), 5)
+	if st.FlushFraction() != 1 {
+		t.Errorf("fraction = %v, want clamped to 1", st.FlushFraction())
+	}
+	st.SetFlushFraction(-3)
+	if st.FlushFraction() != 0.01 {
+		t.Errorf("fraction = %v, want clamped to 0.01", st.FlushFraction())
+	}
+}
+
+// Property: memtable-store heap accounting is exact at every step —
+// heap used always equals base + memtable + cache — and drains leak-free.
+func TestMemtableHeapAccountingProperty(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		s := sim.New()
+		heap := memsim.NewHeap(1 << 40)
+		cfg := DefaultMemtableConfig()
+		st := NewMemtableStore(s, heap, cfg, 64<<20)
+		rng := rand.New(rand.NewSource(seed))
+		ok := true
+		check := func() {
+			want := cfg.BaseHeapBytes + st.MemtableBytes() + st.CacheBytes()
+			if heap.Used() != want {
+				ok = false
+			}
+		}
+		for i, op := range ops {
+			i, op := i, op
+			s.At(time.Duration(i)*31*time.Millisecond, func() {
+				switch op % 4 {
+				case 0:
+					st.Write(int64(1 + rng.Intn(4<<20)))
+				case 1:
+					st.SetCacheTarget(int64(rng.Intn(64 << 20)))
+					st.Read(int64(1 + rng.Intn(2<<20)))
+				case 2:
+					st.SetThreshold(int64(rng.Intn(128 << 20)))
+				case 3:
+					st.Write(1 << 10)
+				}
+				check()
+			})
+		}
+		s.RunUntil(time.Duration(len(ops))*31*time.Millisecond + 10*time.Minute)
+		check()
+		return ok && !st.Crashed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the memstore's occupancy never exceeds the upper watermark plus
+// one write, and block times are within the analytic bound for the fraction.
+func TestMemstoreInvariantProperty(t *testing.T) {
+	f := func(seed int64, fracSeed uint8) bool {
+		s := sim.New()
+		cfg := DefaultMemstoreConfig()
+		cfg.UpperLimitBytes = 64 << 20
+		frac := 0.05 + float64(fracSeed%90)/100
+		st := NewMemstore(s, memsim.NewHeap(1<<40), cfg, frac)
+		rng := rand.New(rand.NewSource(seed))
+		ok := true
+		s.Every(0, 20*time.Millisecond, func() bool {
+			st.Write(int64(1 + rng.Intn(2<<20)))
+			if st.Bytes() > cfg.UpperLimitBytes+2<<20 {
+				ok = false
+			}
+			return s.Now() < 60*time.Second && ok
+		})
+		s.RunUntil(60 * time.Second)
+		bound := cfg.FlushFixedOverhead.Seconds() +
+			frac*float64(cfg.UpperLimitBytes)/float64(cfg.FlushBytesPerSec) + 0.1
+		if st.BlockTimes().Worst().Seconds() > bound {
+			return false
+		}
+		return ok && !st.Crashed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package kvstore
+
+import (
+	"time"
+
+	"smartconf/internal/memsim"
+	"smartconf/internal/metrics"
+	"smartconf/internal/sim"
+)
+
+// MemstoreConfig fixes the HBase-like store's capacity parameters.
+type MemstoreConfig struct {
+	// UpperLimitBytes is the fixed memstore upper watermark; reaching it
+	// blocks writes and triggers a flush.
+	UpperLimitBytes int64
+	// FlushBytesPerSec is the flush drain rate.
+	FlushBytesPerSec int64
+	// FlushFixedOverhead is the per-flush setup cost.
+	FlushFixedOverhead time.Duration
+	// WriteBaseLatency is the uncontended write latency.
+	WriteBaseLatency time.Duration
+	// BaseHeapBytes is allocated at startup.
+	BaseHeapBytes int64
+}
+
+// DefaultMemstoreConfig returns the calibration used by the HB2149
+// experiments.
+func DefaultMemstoreConfig() MemstoreConfig {
+	return MemstoreConfig{
+		UpperLimitBytes:    256 << 20,
+		FlushBytesPerSec:   32 << 20,
+		FlushFixedOverhead: 500 * time.Millisecond,
+		WriteBaseLatency:   2 * time.Millisecond,
+		BaseHeapBytes:      64 << 20,
+	}
+}
+
+// Memstore is the HB2149 substrate: writes accumulate until the upper
+// watermark, then block while a flush drains flushFraction of the watermark.
+// The knob (the paper's global.memstore.lowerLimit, re-expressed as "how
+// much memstore data is flushed") trades worst-case block time against
+// flush frequency.
+type Memstore struct {
+	sim  *sim.Simulation
+	heap *memsim.Heap
+	cfg  MemstoreConfig
+
+	flushFraction float64 // the knob, in (0,1]: fraction of the watermark drained per flush
+
+	bytes      int64
+	blocked    bool
+	blockStart time.Duration
+
+	crashed bool
+
+	blockTimes   *metrics.Latency // the constrained metric (worst-case block)
+	writes       metrics.Counter
+	rejected     metrics.Counter // writes refused while the store was blocked
+	flushes      metrics.Counter
+	throughput   *metrics.Meter
+	writeLatency *metrics.Latency
+
+	// BeforeFlush, when set, runs when the watermark is hit, before the
+	// flush amount is decided — the integration point for this CONDITIONAL
+	// configuration (the controller only acts when a flush actually happens).
+	BeforeFlush func()
+}
+
+// NewMemstore returns a store with the given initial flush fraction.
+func NewMemstore(s *sim.Simulation, heap *memsim.Heap, cfg MemstoreConfig, flushFraction float64) *Memstore {
+	st := &Memstore{
+		sim:           s,
+		heap:          heap,
+		cfg:           cfg,
+		flushFraction: clampFraction(flushFraction),
+		blockTimes:    metrics.NewLatency(128),
+		throughput:    metrics.NewMeter(10 * time.Second),
+		writeLatency:  metrics.NewLatency(512),
+	}
+	if err := heap.Alloc(cfg.BaseHeapBytes); err != nil {
+		st.crashed = true
+	}
+	return st
+}
+
+func clampFraction(f float64) float64 {
+	if f < 0.01 {
+		return 0.01
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// SetFlushFraction adjusts the knob.
+func (st *Memstore) SetFlushFraction(f float64) { st.flushFraction = clampFraction(f) }
+
+// FlushFraction returns the current knob value.
+func (st *Memstore) FlushFraction() float64 { return st.flushFraction }
+
+// Bytes returns the current memstore occupancy.
+func (st *Memstore) Bytes() int64 { return st.bytes }
+
+// Blocked reports whether the write path is currently blocked on a flush.
+func (st *Memstore) Blocked() bool { return st.blocked }
+
+// Crashed reports an OOM death.
+func (st *Memstore) Crashed() bool { return st.crashed }
+
+// Writes returns the number of completed writes.
+func (st *Memstore) Writes() int64 { return st.writes.Value() }
+
+// Rejected returns the number of writes refused while the store was blocked.
+func (st *Memstore) Rejected() int64 { return st.rejected.Value() }
+
+// Flushes returns the number of blocking flushes performed.
+func (st *Memstore) Flushes() int64 { return st.flushes.Value() }
+
+// BlockTimes returns the block-duration tracker (the constrained metric:
+// its worst case must stay under the user's goal).
+func (st *Memstore) BlockTimes() *metrics.Latency { return st.blockTimes }
+
+// WriteLatency returns the per-write latency tracker.
+func (st *Memstore) WriteLatency() *metrics.Latency { return st.writeLatency }
+
+// Throughput returns completed writes per second over the trailing window.
+func (st *Memstore) Throughput() float64 { return st.throughput.Rate(st.sim.Now()) }
+
+// Write appends bytes. Writes arriving during a blocking flush are REFUSED
+// (clients see timeouts and give up — HBase's RegionTooBusyException); the
+// time the store spends blocked is therefore lost throughput, which is
+// exactly the trade-off against the block-time constraint.
+func (st *Memstore) Write(bytes int64) bool {
+	if st.crashed {
+		return false
+	}
+	if st.blocked {
+		st.rejected.Inc()
+		return false
+	}
+	if err := st.heap.Alloc(bytes); err != nil {
+		st.crashed = true
+		return false
+	}
+	st.bytes += bytes
+	st.writes.Inc()
+	st.throughput.Mark(st.sim.Now(), 1)
+	st.writeLatency.Observe(st.cfg.WriteBaseLatency)
+	if st.bytes >= st.cfg.UpperLimitBytes {
+		st.startFlush()
+	}
+	return true
+}
+
+func (st *Memstore) startFlush() {
+	if st.blocked || st.crashed {
+		return
+	}
+	if st.BeforeFlush != nil {
+		st.BeforeFlush()
+	}
+	st.blocked = true
+	st.blockStart = st.sim.Now()
+	st.flushes.Inc()
+
+	amount := int64(float64(st.cfg.UpperLimitBytes) * st.flushFraction)
+	if amount > st.bytes {
+		amount = st.bytes
+	}
+	d := st.cfg.FlushFixedOverhead
+	if st.cfg.FlushBytesPerSec > 0 {
+		d += time.Duration(float64(amount) / float64(st.cfg.FlushBytesPerSec) * float64(time.Second))
+	}
+	st.sim.After(d, func() {
+		if st.crashed {
+			return
+		}
+		st.heap.Free(amount)
+		st.bytes -= amount
+		st.blocked = false
+		st.blockTimes.Observe(st.sim.Now() - st.blockStart)
+	})
+}

@@ -1,0 +1,336 @@
+// Package mapred simulates a small MapReduce cluster for the paper's MR2820
+// issue: mapreduce local.dir.minspacestart decides how much free local disk
+// a worker must have before it starts another task.
+//
+// Too small, and a task starts on a nearly-full disk shared with a
+// fluctuating co-tenant, runs out of space mid-write and fails the job
+// (out-of-disk, the hard constraint). Too large, and workers sit idle while
+// space is actually available, stretching job completion time (the
+// trade-off metric). The knob is conditional — consulted only at task
+// admission — and direct.
+package mapred
+
+import (
+	"time"
+
+	"smartconf/internal/disksim"
+	"smartconf/internal/metrics"
+	"smartconf/internal/sim"
+	"smartconf/internal/workload"
+)
+
+// Config fixes the cluster's capacity parameters.
+type Config struct {
+	// Workers is the number of worker nodes.
+	Workers int
+	// DiskCapacityBytes is each worker's local disk size.
+	DiskCapacityBytes int64
+	// TaskBytesPerSec is a task's intermediate-write rate; a task with
+	// intermediate footprint B runs for B/TaskBytesPerSec.
+	TaskBytesPerSec int64
+	// WriteChunks is how many installments a task's intermediate output is
+	// written in (failures can strike mid-task).
+	WriteChunks int
+	// ScheduleInterval is the master's scheduling period.
+	ScheduleInterval time.Duration
+}
+
+// DefaultConfig returns the calibration used by the MR2820 experiments.
+func DefaultConfig() Config {
+	return Config{
+		Workers:           2,
+		DiskCapacityBytes: 1 << 30, // 1 GB local disk per worker
+		TaskBytesPerSec:   8 << 20, // 8 MB/s
+		WriteChunks:       8,
+		ScheduleInterval:  time.Second,
+	}
+}
+
+// Worker is one node: a local disk shared between task intermediates and a
+// co-tenant whose footprint the experiment steers as the disturbance.
+type Worker struct {
+	ID   int
+	Disk *disksim.Disk
+
+	running   int
+	committed int64 // admitted-but-unwritten task bytes (reservations)
+	coTenant  int64
+}
+
+// Committed returns the bytes admitted tasks still intend to write. The
+// sum Disk.Used()+Committed() is the forward-looking occupancy sensor the
+// MR2820 controller reads: it reflects an admission immediately, before the
+// task's writes land.
+func (w *Worker) Committed() int64 { return w.committed }
+
+// SetCoTenant steers the co-tenant's footprint toward bytes. The co-tenant
+// is polite: it grows only into available space, but it does not care about
+// the MapReduce job's needs — that is exactly the disturbance that makes a
+// static minspacestart unsafe.
+func (w *Worker) SetCoTenant(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	delta := bytes - w.coTenant
+	if delta > 0 {
+		if free := w.Disk.Free(); delta > free {
+			delta = free
+		}
+		if delta > 0 {
+			if err := w.Disk.Write(delta); err != nil {
+				return
+			}
+			w.coTenant += delta
+		}
+	} else if delta < 0 {
+		w.Disk.Delete(-delta)
+		w.coTenant += delta
+	}
+}
+
+// CoTenant returns the co-tenant's current footprint.
+func (w *Worker) CoTenant() int64 { return w.coTenant }
+
+// Running returns the number of tasks currently executing on the worker.
+func (w *Worker) Running() int { return w.running }
+
+// JobResult summarizes one job run.
+type JobResult struct {
+	Duration    time.Duration
+	Failed      bool
+	FailedTasks int
+	TotalTasks  int
+}
+
+type task struct {
+	bytes int64
+}
+
+type jobState struct {
+	job         workload.WordCountJob
+	pending     []task
+	runningN    int
+	failedTasks int
+	started     time.Duration
+	done        func(JobResult)
+
+	mapsDone   int
+	reducing   bool
+	reducersUp int
+}
+
+// Cluster is the simulated MapReduce master plus its workers.
+type Cluster struct {
+	sim *sim.Simulation
+	cfg Config
+
+	workers []*Worker
+
+	minSpaceStart int64 // the knob
+
+	current *jobState
+
+	jobsDone   metrics.Counter
+	jobsFailed metrics.Counter
+
+	// BeforeSchedule, when set, runs before each admission check — the
+	// integration point for this conditional configuration. It receives the
+	// candidate worker and the footprint of the task about to be placed, so
+	// a controller can reason about the occupancy the admission would
+	// create. (MR2820's patch notes: the Master computes the setting and
+	// ships it to the workers; here that shipping is the function call.)
+	BeforeSchedule func(w *Worker, nextTaskBytes int64)
+}
+
+// New builds a cluster with the given initial minspacestart.
+func New(s *sim.Simulation, cfg Config, minSpaceStart int64) *Cluster {
+	c := &Cluster{sim: s, cfg: cfg, minSpaceStart: minSpaceStart}
+	for i := 0; i < cfg.Workers; i++ {
+		c.workers = append(c.workers, &Worker{ID: i, Disk: disksim.NewDisk(cfg.DiskCapacityBytes)})
+	}
+	return c
+}
+
+// SetMinSpaceStart adjusts the knob (bytes).
+func (c *Cluster) SetMinSpaceStart(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	c.minSpaceStart = v
+}
+
+// MinSpaceStart returns the current knob value.
+func (c *Cluster) MinSpaceStart() int64 { return c.minSpaceStart }
+
+// Workers returns the worker nodes (for disturbance injection and sensors).
+func (c *Cluster) Workers() []*Worker { return c.workers }
+
+// MaxDiskUsed returns the highest disk occupancy across workers — the
+// sensor for the hard out-of-disk goal.
+func (c *Cluster) MaxDiskUsed() int64 {
+	var max int64
+	for _, w := range c.workers {
+		if u := w.Disk.Used(); u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// OOD reports whether any worker disk has rejected a write.
+func (c *Cluster) OOD() bool {
+	for _, w := range c.workers {
+		if w.Disk.OOD() {
+			return true
+		}
+	}
+	return false
+}
+
+// JobsDone returns the number of successfully completed jobs.
+func (c *Cluster) JobsDone() int64 { return c.jobsDone.Value() }
+
+// JobsFailed returns the number of failed jobs.
+func (c *Cluster) JobsFailed() int64 { return c.jobsFailed.Value() }
+
+// Busy reports whether a job is currently running.
+func (c *Cluster) Busy() bool { return c.current != nil }
+
+// RunJob starts a WordCount job; done receives the result. Only one job
+// runs at a time (submitting while busy panics — the experiment drives jobs
+// sequentially, as the paper's WordCount phases do).
+func (c *Cluster) RunJob(job workload.WordCountJob, done func(JobResult)) {
+	if c.current != nil {
+		panic("mapred: job already running")
+	}
+	js := &jobState{job: job, started: c.sim.Now(), done: done}
+	per := job.IntermediateBytesPerTask()
+	for i := 0; i < job.MapTasks(); i++ {
+		js.pending = append(js.pending, task{bytes: per})
+	}
+	c.current = js
+	c.schedule()
+	c.sim.Every(c.cfg.ScheduleInterval, c.cfg.ScheduleInterval, func() bool {
+		if c.current != js {
+			return false
+		}
+		c.schedule()
+		return true
+	})
+}
+
+func (c *Cluster) schedule() {
+	js := c.current
+	if js == nil {
+		return
+	}
+	for _, w := range c.workers {
+		for w.running < js.job.Parallelism && len(js.pending) > 0 {
+			if c.BeforeSchedule != nil {
+				c.BeforeSchedule(w, js.pending[0].bytes)
+			}
+			if w.Disk.Free() < c.minSpaceStart {
+				break // this worker lacks headroom; try the next
+			}
+			t := js.pending[0]
+			js.pending = js.pending[1:]
+			c.launch(w, js, t)
+		}
+	}
+	c.maybeFinish()
+}
+
+func (c *Cluster) launch(w *Worker, js *jobState, t task) {
+	w.running++
+	w.committed += t.bytes
+	js.runningN++
+	chunks := c.cfg.WriteChunks
+	if chunks < 1 {
+		chunks = 1
+	}
+	chunkBytes := t.bytes / int64(chunks)
+	rem := t.bytes - chunkBytes*int64(chunks)
+	total := time.Duration(float64(t.bytes) / float64(c.cfg.TaskBytesPerSec) * float64(time.Second))
+	step := total / time.Duration(chunks)
+
+	var written int64
+	var writeChunk func(i int)
+	writeChunk = func(i int) {
+		if c.current != js {
+			return
+		}
+		b := chunkBytes
+		if i == chunks-1 {
+			b += rem
+		}
+		if err := w.Disk.Write(b); err != nil {
+			// Out of disk mid-task: the task fails; its partial output is
+			// cleaned up, but the job is marked failed.
+			w.Disk.Delete(written)
+			w.committed -= t.bytes - written
+			w.running--
+			js.runningN--
+			js.failedTasks++
+			c.maybeFinish()
+			return
+		}
+		written += b
+		w.committed -= b
+		if i+1 < chunks {
+			c.sim.After(step, func() { writeChunk(i + 1) })
+			return
+		}
+		// Task complete: the shuffle copies the output off the local disk,
+		// releasing the space.
+		w.Disk.Delete(written)
+		w.running--
+		js.runningN--
+		js.mapsDone++
+		c.schedule()
+	}
+	c.sim.After(step, func() { writeChunk(0) })
+}
+
+func (c *Cluster) maybeFinish() {
+	js := c.current
+	if js == nil || len(js.pending) > 0 || js.runningN > 0 {
+		return
+	}
+	// All map tasks are done; run the reduce phase once, if the job has one.
+	// Reducers read the shuffled intermediates over the network and write
+	// their output to the distributed store, so they occupy task slots but
+	// place no admission demand on the local disks.
+	if js.job.Reducers > 0 && !js.reducing {
+		js.reducing = true
+		perReducer := js.job.InputBytes
+		if js.job.SpillRatio > 0 {
+			perReducer = int64(float64(perReducer) * js.job.SpillRatio)
+		}
+		perReducer /= int64(js.job.Reducers)
+		d := time.Duration(float64(perReducer) / float64(c.cfg.TaskBytesPerSec) * float64(time.Second))
+		js.runningN += js.job.Reducers
+		for r := 0; r < js.job.Reducers; r++ {
+			c.sim.After(d, func() {
+				js.runningN--
+				js.reducersUp++
+				c.maybeFinish()
+			})
+		}
+		return
+	}
+	c.current = nil
+	res := JobResult{
+		Duration:    c.sim.Now() - js.started,
+		Failed:      js.failedTasks > 0,
+		FailedTasks: js.failedTasks,
+		TotalTasks:  js.job.MapTasks(),
+	}
+	if res.Failed {
+		c.jobsFailed.Inc()
+	} else {
+		c.jobsDone.Inc()
+	}
+	if js.done != nil {
+		js.done(res)
+	}
+}

@@ -1,0 +1,219 @@
+package mapred
+
+import (
+	"testing"
+	"time"
+
+	"smartconf/internal/sim"
+	"smartconf/internal/workload"
+)
+
+func testJob() workload.WordCountJob {
+	return workload.WordCountJob{
+		Name:        "test",
+		InputBytes:  160 << 20,
+		SplitBytes:  16 << 20, // 10 tasks × 16 MB intermediate
+		Parallelism: 2,
+	}
+}
+
+func TestJobCompletes(t *testing.T) {
+	s := sim.New()
+	c := New(s, DefaultConfig(), 0)
+	var res JobResult
+	gotResult := false
+	s.At(0, func() {
+		c.RunJob(testJob(), func(r JobResult) { res = r; gotResult = true })
+	})
+	s.RunUntil(10 * time.Minute)
+	if !gotResult {
+		t.Fatal("job did not finish")
+	}
+	if res.Failed || res.FailedTasks != 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.TotalTasks != 10 {
+		t.Errorf("tasks = %d, want 10", res.TotalTasks)
+	}
+	// 10 tasks ×2s each (16MB @ 8MB/s), 4 slots: ≈3 waves ≈6s + gaps.
+	if res.Duration < 5*time.Second || res.Duration > 30*time.Second {
+		t.Errorf("duration = %v, want ≈6s", res.Duration)
+	}
+	if c.JobsDone() != 1 || c.JobsFailed() != 0 {
+		t.Errorf("done=%d failed=%d", c.JobsDone(), c.JobsFailed())
+	}
+	// Teardown freed all intermediates.
+	for _, w := range c.Workers() {
+		if w.Disk.Used() != w.CoTenant() {
+			t.Errorf("worker %d: disk used %d after teardown", w.ID, w.Disk.Used())
+		}
+	}
+}
+
+func TestZeroMinspaceWithFullDiskFailsJob(t *testing.T) {
+	// MR2820's failure mode: minspacestart = 0 admits tasks onto a
+	// nearly-full disk; the task ENOSPCs mid-write.
+	s := sim.New()
+	cfg := DefaultConfig()
+	c := New(s, cfg, 0)
+	for _, w := range c.Workers() {
+		w.SetCoTenant(cfg.DiskCapacityBytes - 4<<20) // only 4 MB free anywhere
+	}
+	var res JobResult
+	s.At(0, func() {
+		c.RunJob(testJob(), func(r JobResult) { res = r })
+	})
+	s.RunUntil(10 * time.Minute)
+	if !res.Failed || res.FailedTasks == 0 {
+		t.Fatalf("expected OOD job failure, got %+v", res)
+	}
+	if !c.OOD() {
+		t.Error("OOD flag not set on any disk")
+	}
+}
+
+func TestLargeMinspaceDelaysButSucceeds(t *testing.T) {
+	// With a conservative minspacestart, tasks wait for co-tenant churn to
+	// free space instead of crashing.
+	s := sim.New()
+	cfg := DefaultConfig()
+	c := New(s, cfg, 300<<20)
+	for _, w := range c.Workers() {
+		w.SetCoTenant(cfg.DiskCapacityBytes - 100<<20)
+	}
+	// Co-tenant releases space after 60 s.
+	s.At(60*time.Second, func() {
+		for _, w := range c.Workers() {
+			w.SetCoTenant(100 << 20)
+		}
+	})
+	var res JobResult
+	gotResult := false
+	s.At(0, func() {
+		c.RunJob(testJob(), func(r JobResult) { res = r; gotResult = true })
+	})
+	s.RunUntil(30 * time.Minute)
+	if !gotResult {
+		t.Fatal("job never finished")
+	}
+	if res.Failed {
+		t.Fatalf("job failed: %+v", res)
+	}
+	if res.Duration < time.Minute {
+		t.Errorf("duration = %v; should include the 60s wait", res.Duration)
+	}
+}
+
+func TestCoTenantClampsToFreeSpace(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultConfig()
+	c := New(s, cfg, 0)
+	w := c.Workers()[0]
+	w.SetCoTenant(cfg.DiskCapacityBytes * 2) // wants more than the disk
+	if w.CoTenant() != cfg.DiskCapacityBytes {
+		t.Errorf("coTenant = %d, want clamped to capacity", w.CoTenant())
+	}
+	if w.Disk.OOD() {
+		t.Error("polite co-tenant must not trip OOD")
+	}
+	w.SetCoTenant(-5)
+	if w.CoTenant() != 0 {
+		t.Errorf("coTenant = %d, want 0", w.CoTenant())
+	}
+}
+
+func TestBeforeScheduleHookSeesWorker(t *testing.T) {
+	s := sim.New()
+	c := New(s, DefaultConfig(), 0)
+	seen := map[int]bool{}
+	c.BeforeSchedule = func(w *Worker, _ int64) { seen[w.ID] = true }
+	s.At(0, func() { c.RunJob(testJob(), nil) })
+	s.RunUntil(5 * time.Minute)
+	if len(seen) != DefaultConfig().Workers {
+		t.Errorf("hook saw %d workers, want %d", len(seen), DefaultConfig().Workers)
+	}
+}
+
+func TestMinSpaceGatesAdmission(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultConfig()
+	c := New(s, cfg, cfg.DiskCapacityBytes+1) // impossible requirement
+	started := false
+	c.BeforeSchedule = func(w *Worker, _ int64) {
+		if w.Running() > 0 {
+			started = true
+		}
+	}
+	s.At(0, func() { c.RunJob(testJob(), nil) })
+	s.RunUntil(30 * time.Second)
+	if started || c.Busy() == false {
+		t.Errorf("tasks must not start with minspace=capacity (started=%v busy=%v)", started, c.Busy())
+	}
+	// Lower the knob at run time: the job proceeds.
+	s.At(30*time.Second, func() { c.SetMinSpaceStart(0) })
+	s.RunUntil(10 * time.Minute)
+	if c.JobsDone() != 1 {
+		t.Errorf("jobsDone = %d after knob drop", c.JobsDone())
+	}
+}
+
+func TestDoubleSubmitPanics(t *testing.T) {
+	s := sim.New()
+	c := New(s, DefaultConfig(), 0)
+	s.At(0, func() {
+		c.RunJob(testJob(), nil)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on concurrent RunJob")
+			}
+		}()
+		c.RunJob(testJob(), nil)
+	})
+	s.RunUntil(time.Second)
+}
+
+func TestMaxDiskUsedSensor(t *testing.T) {
+	s := sim.New()
+	c := New(s, DefaultConfig(), 0)
+	c.Workers()[0].SetCoTenant(10 << 20)
+	c.Workers()[1].SetCoTenant(30 << 20)
+	if got := c.MaxDiskUsed(); got != 30<<20 {
+		t.Errorf("MaxDiskUsed = %d, want 30MB", got)
+	}
+	if c.MinSpaceStart() != 0 {
+		t.Errorf("MinSpaceStart = %d", c.MinSpaceStart())
+	}
+	c.SetMinSpaceStart(-1)
+	if c.MinSpaceStart() != 0 {
+		t.Error("negative knob should clamp to 0")
+	}
+}
+
+func TestReducePhaseRunsAfterMaps(t *testing.T) {
+	s := sim.New()
+	c := New(s, DefaultConfig(), 0)
+	job := testJob()
+	job.Reducers = 2
+	var res JobResult
+	var mapOnly JobResult
+	s.At(0, func() {
+		c.RunJob(job, func(r JobResult) {
+			res = r
+			// Back-to-back: a map-only job for the duration baseline.
+			c.RunJob(testJob(), func(r2 JobResult) { mapOnly = r2 })
+		})
+	})
+	s.RunUntil(30 * time.Minute)
+	if res.Failed || mapOnly.Failed {
+		t.Fatalf("jobs failed: %+v %+v", res, mapOnly)
+	}
+	if res.Duration <= mapOnly.Duration {
+		t.Errorf("reduce phase added no time: %v vs map-only %v", res.Duration, mapOnly.Duration)
+	}
+	// Reducers leave no residue on the local disks.
+	for _, w := range c.Workers() {
+		if w.Disk.Used() != w.CoTenant() {
+			t.Errorf("worker %d: %d bytes left after teardown", w.ID, w.Disk.Used())
+		}
+	}
+}

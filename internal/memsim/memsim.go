@@ -1,0 +1,104 @@
+// Package memsim models a bounded memory heap with out-of-memory failure,
+// standing in for the JVM heaps of the paper's testbed.
+//
+// The hard goals in four of the paper's six benchmark issues protect against
+// out-of-memory (OOM) crashes; this model supplies exactly that failure
+// mode: allocations beyond capacity fail permanently (a crashed JVM does
+// not come back), and the experiment harness observes the failure through
+// OOM() and the OnOOM hook.
+package memsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned by Alloc when the heap capacity is exceeded.
+var ErrOutOfMemory = errors.New("memsim: out of memory")
+
+// Heap is a byte-accounted heap with a hard capacity.
+// It is not safe for concurrent use (simulation code is single-goroutine).
+type Heap struct {
+	capacity int64
+	used     int64
+	peak     int64
+	oom      bool
+	onOOM    func()
+}
+
+// NewHeap returns an empty heap with the given capacity in bytes.
+func NewHeap(capacity int64) *Heap {
+	if capacity <= 0 {
+		panic("memsim: heap capacity must be positive")
+	}
+	return &Heap{capacity: capacity}
+}
+
+// OnOOM installs a hook invoked exactly once, at the first failed allocation.
+func (h *Heap) OnOOM(fn func()) { h.onOOM = fn }
+
+// Alloc reserves n bytes. Allocating on a heap that has already suffered an
+// OOM keeps failing: the simulated process is dead.
+func (h *Heap) Alloc(n int64) error {
+	if n < 0 {
+		panic("memsim: negative allocation")
+	}
+	if h.oom {
+		return ErrOutOfMemory
+	}
+	if h.used+n > h.capacity {
+		h.oom = true
+		if h.onOOM != nil {
+			h.onOOM()
+		}
+		return ErrOutOfMemory
+	}
+	h.used += n
+	if h.used > h.peak {
+		h.peak = h.used
+	}
+	return nil
+}
+
+// Free releases n bytes. Freeing more than is allocated panics: it indicates
+// a substrate accounting bug, which must not be silently absorbed.
+func (h *Heap) Free(n int64) {
+	if n < 0 {
+		panic("memsim: negative free")
+	}
+	if n > h.used {
+		panic(fmt.Sprintf("memsim: freeing %d bytes with only %d allocated", n, h.used))
+	}
+	h.used -= n
+}
+
+// Used returns the current allocation in bytes.
+func (h *Heap) Used() int64 { return h.used }
+
+// Peak returns the high-water mark in bytes.
+func (h *Heap) Peak() int64 { return h.peak }
+
+// Capacity returns the heap capacity in bytes.
+func (h *Heap) Capacity() int64 { return h.capacity }
+
+// Available returns the remaining headroom in bytes.
+func (h *Heap) Available() int64 { return h.capacity - h.used }
+
+// OOM reports whether the heap has suffered an out-of-memory failure.
+func (h *Heap) OOM() bool { return h.oom }
+
+// SetCapacity changes the capacity at run time (failure injection: a
+// co-tenant shrinking the effective heap). Shrinking below current usage
+// triggers an immediate OOM.
+func (h *Heap) SetCapacity(capacity int64) {
+	if capacity <= 0 {
+		panic("memsim: heap capacity must be positive")
+	}
+	h.capacity = capacity
+	if h.used > h.capacity && !h.oom {
+		h.oom = true
+		if h.onOOM != nil {
+			h.onOOM()
+		}
+	}
+}

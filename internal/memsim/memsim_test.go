@@ -1,0 +1,122 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeAccounting(t *testing.T) {
+	h := NewHeap(1000)
+	if err := h.Alloc(400); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Alloc(600); err != nil {
+		t.Fatal(err)
+	}
+	if h.Used() != 1000 || h.Available() != 0 || h.Peak() != 1000 {
+		t.Errorf("used=%d avail=%d peak=%d", h.Used(), h.Available(), h.Peak())
+	}
+	h.Free(500)
+	if h.Used() != 500 || h.Peak() != 1000 {
+		t.Errorf("after free: used=%d peak=%d", h.Used(), h.Peak())
+	}
+	if h.OOM() {
+		t.Error("unexpected OOM")
+	}
+}
+
+func TestOOMIsPermanent(t *testing.T) {
+	h := NewHeap(100)
+	fired := 0
+	h.OnOOM(func() { fired++ })
+	if err := h.Alloc(101); err != ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if !h.OOM() || fired != 1 {
+		t.Errorf("OOM=%v fired=%d", h.OOM(), fired)
+	}
+	// The crashed process never allocates again, and the hook fires once.
+	if err := h.Alloc(1); err != ErrOutOfMemory {
+		t.Errorf("post-OOM alloc err = %v", err)
+	}
+	if fired != 1 {
+		t.Errorf("hook fired %d times, want 1", fired)
+	}
+}
+
+func TestZeroSizedAlloc(t *testing.T) {
+	h := NewHeap(10)
+	if err := h.Alloc(0); err != nil {
+		t.Errorf("Alloc(0) = %v", err)
+	}
+	h.Free(0)
+	if h.Used() != 0 {
+		t.Errorf("used = %d", h.Used())
+	}
+}
+
+func TestSetCapacityShrinkTriggersOOM(t *testing.T) {
+	h := NewHeap(1000)
+	fired := false
+	h.OnOOM(func() { fired = true })
+	if err := h.Alloc(800); err != nil {
+		t.Fatal(err)
+	}
+	h.SetCapacity(500) // failure injection: capacity drops below usage
+	if !h.OOM() || !fired {
+		t.Error("shrinking below usage must OOM")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("zero capacity", func() { NewHeap(0) })
+	assertPanics("negative alloc", func() { NewHeap(10).Alloc(-1) })
+	assertPanics("negative free", func() { NewHeap(10).Free(-1) })
+	assertPanics("overfree", func() { NewHeap(10).Free(1) })
+	assertPanics("zero recapacity", func() { NewHeap(10).SetCapacity(0) })
+}
+
+// Property: for any alloc/free sequence that the heap accepts, used equals
+// the running sum, never exceeds capacity, and never goes negative.
+func TestAccountingInvariantProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		h := NewHeap(1 << 20)
+		var ledger int64
+		for _, op := range ops {
+			n := int64(op)
+			if n >= 0 {
+				if err := h.Alloc(n); err == nil {
+					ledger += n
+				} else if !h.OOM() {
+					return false // error without OOM state
+				}
+			} else {
+				n = -n
+				if n > ledger {
+					continue // would panic by design; skip
+				}
+				h.Free(n)
+				ledger -= n
+			}
+			if h.Used() != ledger || h.Used() < 0 || h.Used() > h.Capacity() {
+				return false
+			}
+			if h.Peak() < h.Used() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package metrics provides the sensor toolkit that feeds SmartConf
+// controllers: gauges, counters, windowed throughput meters, and latency
+// trackers.
+//
+// §4.1.1 of the paper: "developers must provide a sensor that measures the
+// performance metric M to be controlled" — in MapReduce these are variables
+// like MemHeapUsedM and RpcProcessingAvgTime. The types here play that role
+// for the simulated substrates. They take virtual timestamps explicitly so
+// they work under the discrete-event simulator as well as wall clocks.
+package metrics
+
+import (
+	"time"
+
+	"smartconf/internal/stat"
+)
+
+// Gauge is a point-in-time value (heap bytes used, queue length).
+type Gauge struct {
+	v float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add increments the gauge value by d (may be negative).
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Counter is a monotone event counter.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one event.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds n events; negative n panics.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: negative counter increment")
+	}
+	c.n += n
+}
+
+// Value returns the event count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Meter measures event rate over a sliding time window, bucketed to bound
+// memory. Use it for throughput sensors (completed ops per second).
+type Meter struct {
+	window  time.Duration
+	bucket  time.Duration
+	buckets []meterBucket
+}
+
+type meterBucket struct {
+	start time.Duration
+	count float64
+}
+
+// NewMeter returns a meter with the given window, internally bucketed into
+// 20 slots (or 1ms minimum).
+func NewMeter(window time.Duration) *Meter {
+	if window <= 0 {
+		panic("metrics: meter window must be positive")
+	}
+	bucket := window / 20
+	if bucket < time.Millisecond {
+		bucket = time.Millisecond
+	}
+	return &Meter{window: window, bucket: bucket}
+}
+
+// Mark records n events at virtual time now.
+func (m *Meter) Mark(now time.Duration, n float64) {
+	start := now - now%m.bucket
+	if len(m.buckets) > 0 && m.buckets[len(m.buckets)-1].start == start {
+		m.buckets[len(m.buckets)-1].count += n
+	} else {
+		m.buckets = append(m.buckets, meterBucket{start: start, count: n})
+	}
+	m.expire(now)
+}
+
+// Rate returns events per second over the window ending at now.
+func (m *Meter) Rate(now time.Duration) float64 {
+	m.expire(now)
+	var total float64
+	for _, b := range m.buckets {
+		total += b.count
+	}
+	span := m.window
+	if now < m.window {
+		span = now // early in the run the window hasn't filled yet
+	}
+	if span <= 0 {
+		return 0
+	}
+	return total / span.Seconds()
+}
+
+// Total returns the raw event count within the window ending at now.
+func (m *Meter) Total(now time.Duration) float64 {
+	m.expire(now)
+	var total float64
+	for _, b := range m.buckets {
+		total += b.count
+	}
+	return total
+}
+
+func (m *Meter) expire(now time.Duration) {
+	cutoff := now - m.window
+	i := 0
+	for i < len(m.buckets) && m.buckets[i].start+m.bucket <= cutoff {
+		i++
+	}
+	if i > 0 {
+		m.buckets = append(m.buckets[:0], m.buckets[i:]...)
+	}
+}
+
+// Latency tracks request latencies: a sliding sample window for averages and
+// percentiles, plus the all-time worst case (the sensor behind worst-case
+// block-time constraints like HB2149 and HD4995).
+type Latency struct {
+	window *stat.Window
+	worst  time.Duration
+	last   time.Duration
+	count  int64
+	sum    time.Duration
+}
+
+// NewLatency returns a tracker keeping the most recent n samples.
+func NewLatency(n int) *Latency {
+	return &Latency{window: stat.NewWindow(n)}
+}
+
+// Observe records one latency sample.
+func (l *Latency) Observe(d time.Duration) {
+	l.window.Push(d.Seconds())
+	if d > l.worst {
+		l.worst = d
+	}
+	l.last = d
+	l.count++
+	l.sum += d
+}
+
+// Last returns the most recent sample (the controller's preferred sensor
+// reading: unlike Worst or WindowMax it reflects adjustments immediately).
+func (l *Latency) Last() time.Duration { return l.last }
+
+// Mean returns the mean latency over the sample window.
+func (l *Latency) Mean() time.Duration {
+	return time.Duration(l.window.Mean() * float64(time.Second))
+}
+
+// OverallMean returns the mean over all samples ever observed.
+func (l *Latency) OverallMean() time.Duration {
+	if l.count == 0 {
+		return 0
+	}
+	return l.sum / time.Duration(l.count)
+}
+
+// Percentile returns the q-th percentile over the sample window (0 when the
+// window is empty).
+func (l *Latency) Percentile(q float64) time.Duration {
+	v, err := stat.Percentile(l.window.Snapshot(), q)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(v * float64(time.Second))
+}
+
+// WindowMax returns the largest sample currently in the window.
+func (l *Latency) WindowMax() time.Duration {
+	return time.Duration(l.window.Max() * float64(time.Second))
+}
+
+// Worst returns the all-time maximum latency.
+func (l *Latency) Worst() time.Duration { return l.worst }
+
+// Count returns the number of samples ever observed.
+func (l *Latency) Count() int64 { return l.count }
+
+// Reset clears the window and worst case (used at phase boundaries when a
+// constraint's horizon restarts).
+func (l *Latency) Reset() {
+	l.window.Reset()
+	l.worst = 0
+	l.last = 0
+	l.count = 0
+	l.sum = 0
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(5)
+	g.Add(-3)
+	if g.Value() != 12 {
+		t.Errorf("gauge = %v, want 12", g.Value())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative Add")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter(10 * time.Second)
+	// 5 events/s for 10 seconds.
+	for i := 0; i < 100; i++ {
+		m.Mark(time.Duration(i)*100*time.Millisecond, 0.5)
+	}
+	rate := m.Rate(10 * time.Second)
+	if rate < 4.5 || rate > 5.5 {
+		t.Errorf("rate = %v, want ≈5", rate)
+	}
+	// After a long quiet period, the window drains to zero.
+	if got := m.Rate(100 * time.Second); got != 0 {
+		t.Errorf("quiet rate = %v, want 0", got)
+	}
+}
+
+func TestMeterEarlyWindow(t *testing.T) {
+	m := NewMeter(10 * time.Second)
+	m.Mark(time.Second, 10)
+	// Only 2s elapsed: rate should use elapsed span, not full window.
+	rate := m.Rate(2 * time.Second)
+	if rate < 4 || rate > 6 {
+		t.Errorf("early rate = %v, want ≈5", rate)
+	}
+}
+
+func TestMeterTotalAndExpiry(t *testing.T) {
+	m := NewMeter(time.Second)
+	m.Mark(0, 3)
+	m.Mark(500*time.Millisecond, 2)
+	if got := m.Total(900 * time.Millisecond); got != 5 {
+		t.Errorf("total = %v, want 5", got)
+	}
+	// The first event (t=0) falls out of the window [400ms, 1400ms].
+	if got := m.Total(1400 * time.Millisecond); got != 2 {
+		t.Errorf("total after expiry = %v, want 2", got)
+	}
+	// Both fall out once the window moves past them entirely.
+	if got := m.Total(1600 * time.Millisecond); got != 0 {
+		t.Errorf("total fully expired = %v, want 0", got)
+	}
+}
+
+func TestMeterPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMeter(0)
+}
+
+func TestLatencyTracker(t *testing.T) {
+	l := NewLatency(100)
+	for _, d := range []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		30 * time.Millisecond,
+	} {
+		l.Observe(d)
+	}
+	if got := l.Mean(); got < 19*time.Millisecond || got > 21*time.Millisecond {
+		t.Errorf("mean = %v, want ≈20ms", got)
+	}
+	if got := l.Worst(); got != 30*time.Millisecond {
+		t.Errorf("worst = %v", got)
+	}
+	if got := l.WindowMax(); got < 29*time.Millisecond || got > 31*time.Millisecond {
+		t.Errorf("window max = %v", got)
+	}
+	if l.Count() != 3 {
+		t.Errorf("count = %d", l.Count())
+	}
+	if got := l.OverallMean(); got != 20*time.Millisecond {
+		t.Errorf("overall mean = %v", got)
+	}
+	p99 := l.Percentile(99)
+	if p99 < 29*time.Millisecond || p99 > 31*time.Millisecond {
+		t.Errorf("p99 = %v", p99)
+	}
+}
+
+func TestLatencyWindowEviction(t *testing.T) {
+	l := NewLatency(2)
+	l.Observe(100 * time.Millisecond)
+	l.Observe(time.Millisecond)
+	l.Observe(time.Millisecond)
+	// Window holds only the last two samples, but Worst is all-time.
+	if got := l.WindowMax(); got > 2*time.Millisecond {
+		t.Errorf("window max = %v, want ≈1ms", got)
+	}
+	if got := l.Worst(); got != 100*time.Millisecond {
+		t.Errorf("worst = %v, want 100ms", got)
+	}
+}
+
+func TestLatencyReset(t *testing.T) {
+	l := NewLatency(10)
+	l.Observe(time.Second)
+	l.Reset()
+	if l.Worst() != 0 || l.Count() != 0 || l.Mean() != 0 || l.OverallMean() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if got := l.Percentile(50); got != 0 {
+		t.Errorf("percentile of empty window = %v, want 0", got)
+	}
+}

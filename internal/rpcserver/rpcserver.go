@@ -1,0 +1,348 @@
+// Package rpcserver simulates an HBase-region-server-like RPC server: a
+// bounded call queue feeding a worker pool, and a bounded response queue
+// draining to clients. It is the substrate for three of the paper's
+// benchmark issues:
+//
+//   - HB3813 ipc.server.max.queue.size — the request-queue bound. Every
+//     queued and in-flight call pins its payload on the heap, so the bound
+//     indirectly caps memory; too large risks OOM, too small throttles
+//     throughput.
+//   - HB6728 ipc.server.response.queue.maxsize — the response-queue byte
+//     bound, with the same memory/throughput trade-off on the read path.
+//   - Figures 6, 7 and 8's case studies (single knob, controller ablations,
+//     and both knobs interacting on one super-hard memory goal).
+//
+// The server is event-driven against a sim.Simulation and accounts every
+// payload byte on a memsim.Heap; exceeding the heap is the OOM crash the
+// hard goal must prevent.
+package rpcserver
+
+import (
+	"time"
+
+	"smartconf/internal/memsim"
+	"smartconf/internal/metrics"
+	"smartconf/internal/sim"
+	"smartconf/internal/workload"
+)
+
+// Config fixes the server's capacity parameters.
+type Config struct {
+	// Workers is the number of handler threads.
+	Workers int
+	// ServiceBytesPerSec is each worker's processing rate.
+	ServiceBytesPerSec int64
+	// ServiceBaseTime is the fixed per-dispatch overhead. It is paid once
+	// per batch, which is why deeper queues (bigger batches) raise
+	// throughput — the trade-off side of the HB3813/HB6728 knobs.
+	ServiceBaseTime time.Duration
+	// MaxBatch is how many queued calls one worker dispatch may take
+	// (multi-get batching / group commit). Values < 1 behave as 1.
+	MaxBatch int
+	// ReadResponseFactor scales a read's response size relative to its
+	// request size (reads return data; writes return a small ack).
+	ReadResponseFactor float64
+	// ReadResponseBytes, when positive, fixes every read response at this
+	// size instead of scaling the request (HB6728's workload: tiny read
+	// requests fetching 2 MB values).
+	ReadResponseBytes int64
+	// WriteAckBytes is the response size for writes.
+	WriteAckBytes int64
+	// DrainBytesPerSec is the aggregate client receive rate emptying the
+	// response queue.
+	DrainBytesPerSec int64
+	// PerConnDrainBytesPerSec, when positive, models per-connection client
+	// bandwidth: the effective drain rate is
+	// min(DrainBytesPerSec, PerConnDrainBytesPerSec × queued responses),
+	// so a deeper response queue drains faster (more parallel transfers) —
+	// the throughput side of the HB6728 trade-off.
+	PerConnDrainBytesPerSec int64
+	// BaseHeapBytes is allocated at startup (code, metadata, block cache).
+	BaseHeapBytes int64
+	// ResponseRetry is how long a worker waits before retrying when the
+	// response queue is full.
+	ResponseRetry time.Duration
+	// DropOnRespFull, when set, drops a batch's responses instead of
+	// blocking the worker when the response queue is full: the calls count
+	// as rejected (clients retry), workers stay productive. This is the
+	// responder discipline the HB6728 scenario uses.
+	DropOnRespFull bool
+}
+
+// DefaultConfig returns the calibration used across the HB experiments.
+func DefaultConfig() Config {
+	return Config{
+		Workers:            4,
+		ServiceBytesPerSec: 48 << 20, // 48 MB/s per worker
+		ServiceBaseTime:    200 * time.Millisecond,
+		MaxBatch:           8,
+		ReadResponseFactor: 1.0,
+		WriteAckBytes:      256,
+		DrainBytesPerSec:   256 << 20,
+		BaseHeapBytes:      100 << 20,
+		ResponseRetry:      20 * time.Millisecond,
+	}
+}
+
+type call struct {
+	op      workload.Op
+	arrived time.Duration
+}
+
+// Server is the simulated RPC server.
+type Server struct {
+	sim  *sim.Simulation
+	heap *memsim.Heap
+	cfg  Config
+
+	maxQueueItems int   // HB3813 knob (call count)
+	maxRespBytes  int64 // HB6728 knob (bytes)
+
+	queue      []call
+	queueBytes int64
+	busy       int
+
+	respQueue []int64 // response sizes awaiting drain (FIFO)
+	respBytes int64
+	draining  bool
+
+	crashed bool
+
+	completed  metrics.Counter
+	rejected   metrics.Counter
+	dropped    metrics.Counter // client-visible failures after a crash
+	throughput *metrics.Meter
+	latency    *metrics.Latency
+
+	// BeforeAdmit, when set, runs at the top of every Offer — the paper's
+	// "setPerf/getConf on every enqueue" integration point for the
+	// request-queue knob.
+	BeforeAdmit func()
+	// BeforeRespond, when set, runs before every response enqueue — the
+	// integration point for the response-queue knob.
+	BeforeRespond func()
+}
+
+// New returns a server with both knobs wide open (no request-count bound,
+// no response-byte bound) — the unsafe pre-patch defaults.
+func New(s *sim.Simulation, heap *memsim.Heap, cfg Config) *Server {
+	sv := &Server{
+		sim:           s,
+		heap:          heap,
+		cfg:           cfg,
+		maxQueueItems: int(^uint(0) >> 1),
+		maxRespBytes:  int64(^uint64(0) >> 1),
+		throughput:    metrics.NewMeter(10 * time.Second),
+		latency:       metrics.NewLatency(512),
+	}
+	if err := heap.Alloc(cfg.BaseHeapBytes); err != nil {
+		sv.crashed = true
+	}
+	return sv
+}
+
+// SetMaxQueue sets the HB3813 knob: the maximum number of queued calls.
+// Values below zero clamp to zero. The queue may transiently exceed a
+// lowered bound (§4.2: temporary inconsistency between C and its deputy is
+// tolerated); the bound only gates new admissions.
+func (sv *Server) SetMaxQueue(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sv.maxQueueItems = n
+}
+
+// SetMaxRespBytes sets the HB6728 knob: the response-queue byte bound.
+func (sv *Server) SetMaxRespBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	sv.maxRespBytes = n
+}
+
+// MaxQueue returns the current request-queue bound.
+func (sv *Server) MaxQueue() int { return sv.maxQueueItems }
+
+// MaxRespBytes returns the current response-queue byte bound.
+func (sv *Server) MaxRespBytes() int64 { return sv.maxRespBytes }
+
+// QueueLen returns the number of queued calls (the HB3813 deputy variable).
+func (sv *Server) QueueLen() int { return len(sv.queue) }
+
+// RespBytes returns the response-queue occupancy in bytes (the HB6728
+// deputy variable).
+func (sv *Server) RespBytes() int64 { return sv.respBytes }
+
+// Crashed reports whether the server has died (OOM).
+func (sv *Server) Crashed() bool { return sv.crashed }
+
+// Completed returns the number of completed calls.
+func (sv *Server) Completed() int64 { return sv.completed.Value() }
+
+// Rejected returns the number of calls refused at admission.
+func (sv *Server) Rejected() int64 { return sv.rejected.Value() }
+
+// Dropped returns the number of calls lost to a crashed server.
+func (sv *Server) Dropped() int64 { return sv.dropped.Value() }
+
+// Throughput returns completed calls per second over the trailing window.
+func (sv *Server) Throughput() float64 { return sv.throughput.Rate(sv.sim.Now()) }
+
+// Latency returns the server's latency tracker.
+func (sv *Server) Latency() *metrics.Latency { return sv.latency }
+
+// Offer submits one call. It returns false when the call is refused
+// (queue full) or lost (server crashed).
+func (sv *Server) Offer(op workload.Op) bool {
+	if sv.crashed {
+		sv.dropped.Inc()
+		return false
+	}
+	if sv.BeforeAdmit != nil {
+		sv.BeforeAdmit()
+	}
+	if len(sv.queue) >= sv.maxQueueItems {
+		sv.rejected.Inc()
+		return false
+	}
+	if err := sv.heap.Alloc(op.Bytes); err != nil {
+		sv.crash()
+		return false
+	}
+	sv.queue = append(sv.queue, call{op: op, arrived: sv.sim.Now()})
+	sv.queueBytes += op.Bytes
+	sv.dispatch()
+	return true
+}
+
+func (sv *Server) crash() {
+	if sv.crashed {
+		return
+	}
+	sv.crashed = true
+	// A crashed JVM releases nothing and serves nothing; queued work is lost
+	// from the clients' perspective.
+	sv.dropped.Add(int64(len(sv.queue)))
+}
+
+func (sv *Server) dispatch() {
+	maxBatch := sv.cfg.MaxBatch
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	for !sv.crashed && sv.busy < sv.cfg.Workers && len(sv.queue) > 0 {
+		n := maxBatch
+		if n > len(sv.queue) {
+			n = len(sv.queue)
+		}
+		batch := make([]call, n)
+		copy(batch, sv.queue[:n])
+		sv.queue = sv.queue[n:]
+		sv.busy++
+		var bytes int64
+		for _, c := range batch {
+			bytes += c.op.Bytes
+		}
+		d := sv.cfg.ServiceBaseTime // paid once per batch
+		if sv.cfg.ServiceBytesPerSec > 0 {
+			d += time.Duration(float64(bytes) / float64(sv.cfg.ServiceBytesPerSec) * float64(time.Second))
+		}
+		sv.sim.After(d, func() { sv.finish(batch) })
+	}
+}
+
+func (sv *Server) finish(batch []call) {
+	if sv.crashed {
+		return
+	}
+	var respSize, reqBytes int64
+	for _, c := range batch {
+		reqBytes += c.op.Bytes
+		switch {
+		case c.op.Write:
+			respSize += sv.cfg.WriteAckBytes
+		case sv.cfg.ReadResponseBytes > 0:
+			respSize += sv.cfg.ReadResponseBytes
+		default:
+			respSize += int64(float64(c.op.Bytes) * sv.cfg.ReadResponseFactor)
+		}
+	}
+	if sv.BeforeRespond != nil {
+		sv.BeforeRespond()
+	}
+	if sv.respBytes > 0 && sv.respBytes+respSize > sv.maxRespBytes {
+		if sv.cfg.DropOnRespFull {
+			// Responder sheds load: the batch's responses are discarded and
+			// the calls count as rejected (clients will retry); the worker
+			// moves on.
+			sv.heap.Free(reqBytes)
+			sv.queueBytes -= reqBytes
+			sv.busy--
+			sv.rejected.Add(int64(len(batch)))
+			sv.dispatch()
+			return
+		}
+		// Responder back-pressure: the worker holds the batch and retries.
+		// An oversize batch is admitted into an EMPTY response queue so a
+		// bound below one batch cannot deadlock the server (§4.2's tolerated
+		// transient inconsistency between a knob and its deputy).
+		sv.sim.After(sv.cfg.ResponseRetry, func() { sv.finish(batch) })
+		return
+	}
+	if err := sv.heap.Alloc(respSize); err != nil {
+		sv.crash()
+		return
+	}
+	// The batch's request payloads are released once the responses are built.
+	sv.heap.Free(reqBytes)
+	sv.queueBytes -= reqBytes
+	// One response entry per call: each queued response is one in-flight
+	// client transfer (the per-connection drain model counts these).
+	for _, c := range batch {
+		switch {
+		case c.op.Write:
+			sv.respQueue = append(sv.respQueue, sv.cfg.WriteAckBytes)
+		case sv.cfg.ReadResponseBytes > 0:
+			sv.respQueue = append(sv.respQueue, sv.cfg.ReadResponseBytes)
+		default:
+			sv.respQueue = append(sv.respQueue, int64(float64(c.op.Bytes)*sv.cfg.ReadResponseFactor))
+		}
+	}
+	sv.respBytes += respSize
+	sv.busy--
+	sv.completed.Add(int64(len(batch)))
+	sv.throughput.Mark(sv.sim.Now(), float64(len(batch)))
+	for _, c := range batch {
+		sv.latency.Observe(sv.sim.Now() - c.arrived)
+	}
+	sv.drain()
+	sv.dispatch()
+}
+
+func (sv *Server) drain() {
+	if sv.draining || sv.crashed || len(sv.respQueue) == 0 {
+		return
+	}
+	sv.draining = true
+	size := sv.respQueue[0]
+	rate := sv.cfg.DrainBytesPerSec
+	if sv.cfg.PerConnDrainBytesPerSec > 0 {
+		if conns := int64(len(sv.respQueue)); conns*sv.cfg.PerConnDrainBytesPerSec < rate {
+			rate = conns * sv.cfg.PerConnDrainBytesPerSec
+		}
+	}
+	d := time.Duration(float64(size) / float64(rate) * float64(time.Second))
+	if d <= 0 {
+		d = time.Microsecond
+	}
+	sv.sim.After(d, func() {
+		sv.draining = false
+		if sv.crashed {
+			return
+		}
+		sv.respQueue = sv.respQueue[1:]
+		sv.respBytes -= size
+		sv.heap.Free(size)
+		sv.drain()
+	})
+}

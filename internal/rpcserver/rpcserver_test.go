@@ -1,0 +1,269 @@
+package rpcserver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"smartconf/internal/memsim"
+	"smartconf/internal/sim"
+	"smartconf/internal/workload"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BaseHeapBytes = 10 << 20
+	return cfg
+}
+
+func writeOp(bytes int64) workload.Op { return workload.Op{Write: true, Bytes: bytes} }
+func readOp(bytes int64) workload.Op  { return workload.Op{Write: false, Bytes: bytes} }
+
+func TestServerCompletesCalls(t *testing.T) {
+	s := sim.New()
+	heap := memsim.NewHeap(500 << 20)
+	sv := New(s, heap, testConfig())
+	sv.SetMaxQueue(100)
+
+	for i := 0; i < 50; i++ {
+		i := i
+		s.At(time.Duration(i)*10*time.Millisecond, func() {
+			sv.Offer(writeOp(1 << 20))
+		})
+	}
+	s.RunUntil(30 * time.Second)
+	if sv.Completed() != 50 {
+		t.Errorf("completed = %d, want 50", sv.Completed())
+	}
+	if sv.Crashed() {
+		t.Error("unexpected crash")
+	}
+	// All request payloads and responses drained: heap back to base.
+	if got := heap.Used(); got != testConfig().BaseHeapBytes {
+		t.Errorf("heap after drain = %d, want base %d", got, testConfig().BaseHeapBytes)
+	}
+	if sv.Latency().Count() != 50 {
+		t.Errorf("latency samples = %d", sv.Latency().Count())
+	}
+}
+
+func TestQueueBoundRejects(t *testing.T) {
+	s := sim.New()
+	heap := memsim.NewHeap(500 << 20)
+	sv := New(s, heap, testConfig())
+	sv.SetMaxQueue(5)
+
+	// Burst of 30 calls at the same instant: the first 4 dispatch
+	// immediately (one per worker), 5 fill the queue, the rest are rejected.
+	s.At(0, func() {
+		for i := 0; i < 30; i++ {
+			sv.Offer(writeOp(1 << 20))
+		}
+	})
+	s.RunUntil(10 * time.Second)
+	if sv.Rejected() != 30-4-5 {
+		t.Errorf("rejected = %d, want 21", sv.Rejected())
+	}
+	if sv.Completed() != 9 {
+		t.Errorf("completed = %d, want 9", sv.Completed())
+	}
+}
+
+func TestNegativeBoundsClampToZero(t *testing.T) {
+	s := sim.New()
+	sv := New(s, memsim.NewHeap(1<<30), testConfig())
+	sv.SetMaxQueue(-5)
+	if sv.MaxQueue() != 0 {
+		t.Errorf("MaxQueue = %d", sv.MaxQueue())
+	}
+	sv.SetMaxRespBytes(-1)
+	if sv.MaxRespBytes() != 0 {
+		t.Errorf("MaxRespBytes = %d", sv.MaxRespBytes())
+	}
+}
+
+func TestUnboundedQueueOOMs(t *testing.T) {
+	// The buggy default (unbounded queue) must crash under a burst that
+	// exceeds the heap — the exact failure HB3813 reports.
+	s := sim.New()
+	heap := memsim.NewHeap(100 << 20)
+	sv := New(s, heap, testConfig())
+	oom := false
+	heap.OnOOM(func() { oom = true })
+
+	s.At(0, func() {
+		for i := 0; i < 200; i++ {
+			sv.Offer(writeOp(1 << 20)) // 200 MB of payloads into a 100 MB heap
+		}
+	})
+	s.RunUntil(10 * time.Second)
+	if !oom || !sv.Crashed() {
+		t.Fatalf("unbounded queue should OOM: oom=%v crashed=%v", oom, sv.Crashed())
+	}
+	// A crashed server drops everything offered afterwards.
+	before := sv.Dropped()
+	if sv.Offer(writeOp(1)) {
+		t.Error("crashed server accepted a call")
+	}
+	if sv.Dropped() != before+1 {
+		t.Error("dropped counter did not advance")
+	}
+}
+
+func TestResponseQueueBackPressure(t *testing.T) {
+	s := sim.New()
+	heap := memsim.NewHeap(1 << 30)
+	cfg := testConfig()
+	cfg.DrainBytesPerSec = 1 << 20 // slow clients: 1 MB/s
+	sv := New(s, heap, cfg)
+	sv.SetMaxQueue(1000)
+	sv.SetMaxRespBytes(2 << 20) // tiny response queue
+
+	s.At(0, func() {
+		for i := 0; i < 20; i++ {
+			sv.Offer(readOp(1 << 20)) // reads produce 1 MB responses
+		}
+	})
+	s.RunUntil(60 * time.Second)
+	// The bound gates admission; at most one batch may sit above it
+	// (admitted into an empty queue).
+	slack := int64(testConfig().MaxBatch) * (1 << 20)
+	if sv.RespBytes() > sv.MaxRespBytes()+slack {
+		t.Errorf("response queue %d far exceeds bound %d", sv.RespBytes(), sv.MaxRespBytes())
+	}
+	if sv.Completed() == 0 {
+		t.Error("back-pressure deadlocked the server")
+	}
+	if sv.Crashed() {
+		t.Error("server crashed despite response bound")
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	s := sim.New()
+	sv := New(s, memsim.NewHeap(1<<30), testConfig())
+	sv.SetMaxQueue(10)
+	admits, responds := 0, 0
+	sv.BeforeAdmit = func() { admits++ }
+	sv.BeforeRespond = func() { responds++ }
+	s.At(0, func() {
+		for i := 0; i < 5; i++ {
+			sv.Offer(writeOp(1024))
+		}
+	})
+	s.RunUntil(5 * time.Second)
+	if admits != 5 {
+		t.Errorf("BeforeAdmit fired %d times, want 5", admits)
+	}
+	if responds != 5 {
+		t.Errorf("BeforeRespond fired %d times, want 5", responds)
+	}
+}
+
+func TestLoweredBoundToleratedTransiently(t *testing.T) {
+	// §4.2: dropping max.queue.size below the live queue length must not
+	// break anything — the queue drains back under the bound.
+	s := sim.New()
+	sv := New(s, memsim.NewHeap(1<<30), testConfig())
+	sv.SetMaxQueue(100)
+	s.At(0, func() {
+		for i := 0; i < 50; i++ {
+			sv.Offer(writeOp(1 << 20))
+		}
+		sv.SetMaxQueue(3) // bound now far below the 42 queued calls
+	})
+	var rejectedAt50ms int64
+	s.At(50*time.Millisecond, func() {
+		if !sv.Offer(writeOp(1 << 20)) {
+			rejectedAt50ms = 1
+		}
+	})
+	s.RunUntil(30 * time.Second)
+	if rejectedAt50ms != 1 {
+		t.Error("admission above a lowered bound should be refused")
+	}
+	if sv.Completed() != 50 {
+		t.Errorf("completed = %d, want all 50 pre-drop calls", sv.Completed())
+	}
+	if sv.QueueLen() != 0 {
+		t.Errorf("queue did not drain: %d", sv.QueueLen())
+	}
+}
+
+func TestThroughputMeter(t *testing.T) {
+	s := sim.New()
+	sv := New(s, memsim.NewHeap(1<<30), testConfig())
+	sv.SetMaxQueue(1000)
+	// 20 ops/s offered for 20 s; capacity is ample.
+	s.Every(0, 50*time.Millisecond, func() bool {
+		sv.Offer(writeOp(64 << 10))
+		return s.Now() < 20*time.Second
+	})
+	s.RunUntil(20 * time.Second)
+	tput := sv.Throughput()
+	if tput < 15 || tput > 25 {
+		t.Errorf("throughput = %v, want ≈20", tput)
+	}
+}
+
+func TestDeeperQueueRaisesThroughput(t *testing.T) {
+	// The trade-off side of HB3813: batching amortizes the per-dispatch
+	// cost, so a deeper queue (bigger batches) completes more calls under
+	// overload.
+	run := func(limit int) int64 {
+		s := sim.New()
+		sv := New(s, memsim.NewHeap(8<<30), testConfig())
+		sv.SetMaxQueue(limit)
+		s.Every(0, 25*time.Millisecond, func() bool { // 40 ops/s offered
+			sv.Offer(writeOp(1 << 20))
+			return s.Now() < 120*time.Second
+		})
+		s.RunUntil(120 * time.Second)
+		return sv.Completed()
+	}
+	shallow, deep := run(2), run(200)
+	if float64(deep) < 1.2*float64(shallow) {
+		t.Errorf("deep queue %d should clearly beat shallow queue %d", deep, shallow)
+	}
+}
+
+// Property: for any random op/limit sequence, heap accounting is leak-free —
+// once all traffic stops and queues drain, the heap returns exactly to the
+// base footprint (no payload byte is ever lost or double-freed).
+func TestHeapAccountingLeakFreeProperty(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		s := sim.New()
+		heap := memsim.NewHeap(1 << 40) // effectively unbounded: no OOM path
+		cfg := testConfig()
+		sv := New(s, heap, cfg)
+		rng := rand.New(rand.NewSource(seed))
+		for i, op := range ops {
+			i, op := i, op
+			s.At(time.Duration(i)*17*time.Millisecond, func() {
+				switch op % 4 {
+				case 0:
+					sv.SetMaxQueue(rng.Intn(50))
+				case 1:
+					sv.SetMaxRespBytes(int64(rng.Intn(64 << 20)))
+				case 2:
+					sv.Offer(writeOp(int64(1 + rng.Intn(4<<20))))
+				case 3:
+					sv.Offer(readOp(int64(1 + rng.Intn(4<<20))))
+				}
+			})
+		}
+		// Let everything drain with the gates wide open.
+		s.At(time.Duration(len(ops)+1)*17*time.Millisecond, func() {
+			sv.SetMaxQueue(1 << 30)
+			sv.SetMaxRespBytes(1 << 40)
+		})
+		s.RunUntil(time.Duration(len(ops))*17*time.Millisecond + 10*time.Minute)
+		return !sv.Crashed() &&
+			sv.QueueLen() == 0 && sv.RespBytes() == 0 &&
+			heap.Used() == cfg.BaseHeapBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

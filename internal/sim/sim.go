@@ -1,0 +1,142 @@
+// Package sim is a deterministic discrete-event simulator.
+//
+// The paper evaluates SmartConf on a physical testbed over hundreds of
+// seconds of wall-clock time. This repository reproduces those experiments
+// on virtual time: substrates (RPC server, key-value store, namenode,
+// MapReduce cluster) are written as event-driven processes against a
+// Simulation, so a 700-second experiment executes in milliseconds and two
+// runs with the same seed are bit-identical.
+//
+// Events scheduled for the same instant fire in scheduling order (a strict
+// total order over (time, sequence)), which keeps every experiment
+// reproducible regardless of map iteration or goroutine scheduling — the
+// simulator is single-goroutine by design.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Simulation owns a virtual clock and an event queue.
+// It is not safe for concurrent use: all substrate code runs inside event
+// callbacks on a single goroutine.
+type Simulation struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	events  uint64 // total events executed (diagnostics / benchmarks)
+}
+
+// New returns an empty simulation at time zero.
+func New() *Simulation {
+	return &Simulation{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Duration { return s.now }
+
+// Events returns the number of events executed so far.
+func (s *Simulation) Events() uint64 { return s.events }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it would silently reorder causality.
+func (s *Simulation) At(t time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current virtual time. Negative d panics.
+func (s *Simulation) After(d time.Duration, fn func()) {
+	s.At(s.now+d, fn)
+}
+
+// Every schedules fn after the delay start (relative to now, like After) and
+// then every interval while fn returns true. interval must be positive.
+func (s *Simulation) Every(start, interval time.Duration, fn func() bool) {
+	if interval <= 0 {
+		panic("sim: Every interval must be positive")
+	}
+	var tick func()
+	next := s.now + start
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		if fn() {
+			next += interval
+			s.At(next, tick)
+		}
+	}
+	s.At(next, tick)
+}
+
+// Stop halts the run loop after the current event; pending events remain
+// queued but are not executed.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (s *Simulation) Stopped() bool { return s.stopped }
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulation) Run() {
+	for len(s.queue) > 0 && !s.stopped {
+		s.step()
+	}
+}
+
+// RunUntil executes all events scheduled at or before deadline (unless Stop
+// fires first) and then advances the clock to the deadline.
+func (s *Simulation) RunUntil(deadline time.Duration) {
+	for len(s.queue) > 0 && !s.stopped && s.queue[0].at <= deadline {
+		s.step()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+func (s *Simulation) step() {
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	s.events++
+	e.fn()
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3*time.Second, func() { order = append(order, 3) })
+	s.At(1*time.Second, func() { order = append(order, 1) })
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", s.Now())
+	}
+	if s.Events() != 3 {
+		t.Errorf("Events = %d, want 3", s.Events())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	s := New()
+	var times []time.Duration
+	s.After(time.Second, func() {
+		times = append(times, s.Now())
+		s.After(2*time.Second, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 3*time.Second {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(time.Second, func() { fired++ })
+	s.At(10*time.Second, func() { fired++ })
+	s.RunUntil(5 * time.Second)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s (advanced to deadline)", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	s.RunUntil(20 * time.Second)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	var ticks []time.Duration
+	s.Every(time.Second, 2*time.Second, func() bool {
+		ticks = append(ticks, s.Now())
+		return len(ticks) < 4
+	})
+	s.Run()
+	want := []time.Duration{1 * time.Second, 3 * time.Second, 5 * time.Second, 7 * time.Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick[%d] = %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New()
+	count := 0
+	s.Every(0, time.Second, func() bool {
+		count++
+		if count == 5 {
+			s.Stop()
+		}
+		return true
+	})
+	s.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if !s.Stopped() {
+		t.Error("Stopped() = false")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for nil callback")
+		}
+	}()
+	New().At(time.Second, nil)
+}
+
+func TestBadEveryIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive interval")
+		}
+	}()
+	New().Every(0, 0, func() bool { return false })
+}
+
+// Property: for any multiset of schedule times, execution order is the
+// sorted order and the clock never goes backwards.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New()
+		var fired []time.Duration
+		for _, o := range offsets {
+			at := time.Duration(o) * time.Millisecond
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		sorted := make([]time.Duration, len(offsets))
+		for i, o := range offsets {
+			sorted[i] = time.Duration(o) * time.Millisecond
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package stat provides the small statistical toolbox SmartConf's controller
+// synthesis is built on: summary statistics, coefficients of variation,
+// simple linear regression, and streaming percentile estimation.
+//
+// Everything here is deterministic and allocation-conscious; the experiment
+// harness calls into this package on every sensor sample.
+package stat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when an estimator needs more samples than
+// it was given (e.g. a regression over fewer than two distinct x values).
+var ErrInsufficientData = errors.New("stat: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divide by n, not n-1).
+// SmartConf's synthesis formulas are defined over population moments of the
+// profiling samples, so we follow that convention throughout.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CoV returns the coefficient of variation σ/μ of xs. It returns 0 when the
+// mean is zero (a degenerate profile: constant-zero performance carries no
+// variability information the controller could use).
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return math.Abs(StdDev(xs) / m)
+}
+
+// Summary bundles the moments the synthesis step needs for one profiled
+// configuration setting.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+	}
+}
+
+// Linear is a fitted line y = Slope·x + Intercept with its goodness of fit.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination in [0,1]
+}
+
+// Predict evaluates the fitted line at x.
+func (l Linear) Predict(x float64) float64 {
+	return l.Slope*x + l.Intercept
+}
+
+// LinearFit performs ordinary least squares of ys on xs.
+// It returns ErrInsufficientData when fewer than two samples are supplied or
+// all xs are identical (slope undefined).
+func LinearFit(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, errors.New("stat: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return Linear{}, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, ErrInsufficientData
+	}
+	slope := sxy / sxx
+	fit := Linear{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1 // constant y perfectly explained by a flat line
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// LinearFitOrigin performs least squares of ys on xs constrained through the
+// origin (y = Slope·x), matching the paper's Eq. 1 model s = α·c.
+func LinearFitOrigin(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, errors.New("stat: mismatched sample lengths")
+	}
+	var sxx, sxy float64
+	for i := range xs {
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	if sxx == 0 {
+		return Linear{}, ErrInsufficientData
+	}
+	slope := sxy / sxx
+	// R² against the zero-intercept model.
+	var ssRes, ssTot float64
+	my := Mean(ys)
+	for i := range xs {
+		r := ys[i] - slope*xs[i]
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	fit := Linear{Slope: slope}
+	if ssTot == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = math.Max(0, 1-ssRes/ssTot)
+	}
+	return fit, nil
+}
+
+// Percentile returns the q-th percentile (q in [0,100]) of xs using linear
+// interpolation between closest ranks. xs need not be sorted; a copy is made.
+func Percentile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	if q < 0 || q > 100 {
+		return 0, errors.New("stat: percentile out of range")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := q / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}

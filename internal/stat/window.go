@@ -1,0 +1,119 @@
+package stat
+
+// Window is a fixed-capacity ring buffer of float64 samples with streaming
+// summary statistics. Sensors use it to expose "recent performance" (e.g.
+// average request latency over the last N requests) without unbounded memory.
+//
+// The zero Window is unusable; construct with NewWindow.
+type Window struct {
+	buf   []float64
+	next  int
+	full  bool
+	sum   float64
+	sumSq float64
+}
+
+// NewWindow returns a ring buffer retaining the most recent capacity samples.
+// capacity must be positive.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic("stat: NewWindow capacity must be positive")
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Push adds a sample, evicting the oldest when the window is full.
+func (w *Window) Push(x float64) {
+	if w.full {
+		old := w.buf[w.next]
+		w.sum -= old
+		w.sumSq -= old * old
+	}
+	w.buf[w.next] = x
+	w.sum += x
+	w.sumSq += x * x
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// Len reports the number of live samples (≤ capacity).
+func (w *Window) Len() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Mean returns the mean of the live samples, or 0 when empty.
+func (w *Window) Mean() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	return w.sum / float64(n)
+}
+
+// Variance returns the population variance of the live samples.
+// It is clamped at zero to absorb floating-point drift from the
+// incremental sums.
+func (w *Window) Variance() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	m := w.Mean()
+	v := w.sumSq/float64(n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Snapshot copies the live samples in insertion order (oldest first).
+func (w *Window) Snapshot() []float64 {
+	n := w.Len()
+	out := make([]float64, 0, n)
+	if w.full {
+		out = append(out, w.buf[w.next:]...)
+	}
+	out = append(out, w.buf[:w.next]...)
+	return out
+}
+
+// Reset discards all samples, keeping the capacity.
+func (w *Window) Reset() {
+	for i := range w.buf {
+		w.buf[i] = 0
+	}
+	w.next = 0
+	w.full = false
+	w.sum = 0
+	w.sumSq = 0
+}
+
+// Max returns the maximum live sample, or 0 when empty.
+func (w *Window) Max() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	m := w.buf[0]
+	if !w.full {
+		m = w.buf[0]
+		for _, x := range w.buf[:w.next] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	for _, x := range w.buf {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,88 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3)
+	if w.Len() != 0 || w.Mean() != 0 {
+		t.Fatalf("fresh window not empty: len=%d mean=%v", w.Len(), w.Mean())
+	}
+	w.Push(1)
+	w.Push(2)
+	if w.Len() != 2 || !almostEqual(w.Mean(), 1.5, 1e-12) {
+		t.Errorf("len=%d mean=%v, want 2, 1.5", w.Len(), w.Mean())
+	}
+	w.Push(3)
+	w.Push(4) // evicts 1
+	if w.Len() != 3 || !almostEqual(w.Mean(), 3, 1e-12) {
+		t.Errorf("after eviction len=%d mean=%v, want 3, 3", w.Len(), w.Mean())
+	}
+	snap := w.Snapshot()
+	want := []float64{2, 3, 4}
+	if len(snap) != 3 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Errorf("snapshot[%d] = %v, want %v", i, snap[i], want[i])
+		}
+	}
+	if got := w.Max(); got != 4 {
+		t.Errorf("Max = %v, want 4", got)
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Mean() != 0 {
+		t.Errorf("after Reset len=%d mean=%v", w.Len(), w.Mean())
+	}
+}
+
+func TestWindowPartialMax(t *testing.T) {
+	w := NewWindow(10)
+	w.Push(-5)
+	w.Push(-2)
+	if got := w.Max(); got != -2 {
+		t.Errorf("Max of partial window = %v, want -2", got)
+	}
+}
+
+func TestWindowPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for capacity 0")
+		}
+	}()
+	NewWindow(0)
+}
+
+// Property: the window's streaming mean/variance agree with batch statistics
+// over the snapshot, regardless of push history.
+func TestWindowMatchesBatchProperty(t *testing.T) {
+	f := func(raw []float64, capSeed uint8) bool {
+		capacity := int(capSeed%16) + 1
+		w := NewWindow(capacity)
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Bound magnitudes so incremental sumSq keeps precision.
+			w.Push(math.Mod(x, 1e6))
+		}
+		snap := w.Snapshot()
+		if len(snap) != w.Len() {
+			return false
+		}
+		if len(snap) == 0 {
+			return w.Mean() == 0 && w.Variance() == 0
+		}
+		tol := 1e-6 * (1 + math.Abs(Mean(snap)))
+		return almostEqual(w.Mean(), Mean(snap), tol) &&
+			almostEqual(w.Variance(), Variance(snap), 1e-3*(1+Variance(snap)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+package study
+
+import "fmt"
+
+// marginals are the per-system aggregate counts the paper reports; the
+// synthetic dataset is generated to match them exactly (see package doc).
+type marginals struct {
+	issues      int
+	categories  [numCategories]int // Tune, HardCoded, Refine, FixDefault
+	metrics     [numMetrics]int    // Latency, Throughput, MemoryDisk
+	conditional int
+	indirect    int
+	varTypes    [numVarTypes]int // Integer, Float, NonNumerical
+	factors     [numFactors]int  // StaticSystem, StaticWorkload, Dynamic
+	posts       int
+	postsHowTo  int
+	postsOOM    int
+}
+
+var paperMarginals = map[System]marginals{
+	Cassandra: {
+		issues:      20,
+		categories:  [numCategories]int{11, 2, 2, 5},
+		metrics:     [numMetrics]int{14, 8, 9},
+		conditional: 11, indirect: 13,
+		varTypes: [numVarTypes]int{15, 4, 1},
+		factors:  [numFactors]int{0, 4, 16},
+		posts:    20, postsHowTo: 8, postsOOM: 6,
+	},
+	HBase: {
+		issues:      30,
+		categories:  [numCategories]int{16, 1, 0, 13},
+		metrics:     [numMetrics]int{28, 3, 15},
+		conditional: 13, indirect: 14,
+		varTypes: [numVarTypes]int{23, 5, 2},
+		factors:  [numFactors]int{1, 0, 29},
+		posts:    7, postsHowTo: 3, postsOOM: 2,
+	},
+	HDFS: {
+		issues:      20,
+		categories:  [numCategories]int{8, 7, 0, 5},
+		metrics:     [numMetrics]int{20, 5, 8},
+		conditional: 12, indirect: 12,
+		varTypes: [numVarTypes]int{19, 0, 1},
+		factors:  [numFactors]int{0, 0, 20},
+		posts:    7, postsHowTo: 3, postsOOM: 2,
+	},
+	MapReduce: {
+		issues:      10,
+		categories:  [numCategories]int{4, 4, 1, 1},
+		metrics:     [numMetrics]int{9, 0, 7},
+		conditional: 4, indirect: 6,
+		varTypes: [numVarTypes]int{9, 0, 1},
+		factors:  [numFactors]int{1, 2, 7},
+		posts:    20, postsHowTo: 8, postsOOM: 6,
+	},
+}
+
+// realIssues are the six benchmark issues of Table 6 with their actual
+// attributes; they anchor the dataset and consume part of each system's
+// marginals.
+var realIssues = []Issue{
+	{
+		ID: "CASSANDRA-6059", System: Cassandra,
+		Title:    "memtable_total_space_in_mb: too big OOMs, too small hurts write latency",
+		Category: FixPoorDefault,
+		Metrics:  []Metric{Latency, MemoryDisk},
+		Indirect: true, VarType: Integer, Factor: Dynamic,
+	},
+	{
+		ID: "HBASE-2149", System: HBase,
+		Title:       "global.memstore.lowerLimit: flush too much blocks writes too long, too little blocks too often",
+		Category:    FixPoorDefault,
+		Metrics:     []Metric{Latency, Throughput},
+		Conditional: true, VarType: Float, Factor: Dynamic,
+	},
+	{
+		ID: "HBASE-3813", System: HBase,
+		Title:    "ipc.server.max.queue.size: too big OOMs, too small hurts throughput",
+		Category: FixPoorDefault,
+		Metrics:  []Metric{Throughput, MemoryDisk},
+		Indirect: true, VarType: Integer, Factor: Dynamic,
+	},
+	{
+		ID: "HBASE-6728", System: HBase,
+		Title:    "ipc.server.response.queue.maxsize: too big OOMs, too small hurts throughput",
+		Category: FixPoorDefault,
+		Metrics:  []Metric{Throughput, MemoryDisk},
+		Indirect: true, VarType: Integer, Factor: Dynamic,
+	},
+	{
+		ID: "HDFS-4995", System: HDFS,
+		Title:       "content-summary.limit: big holds the namesystem lock too long, small slows du",
+		Category:    ReplaceHardCoded,
+		Metrics:     []Metric{Latency},
+		Conditional: true, Indirect: true, VarType: Integer, Factor: Dynamic,
+	},
+	{
+		ID: "MAPREDUCE-2820", System: MapReduce,
+		Title:       "local.dir.minspacestart: too small OODs tasks, too big idles workers",
+		Category:    FixPoorDefault,
+		Metrics:     []Metric{Latency, MemoryDisk},
+		Conditional: true, VarType: Integer, Factor: Dynamic,
+	},
+}
+
+// Issues returns the full 80-issue dataset: the six real benchmark issues
+// plus synthetic records filling each system's marginals.
+func Issues() []Issue {
+	var out []Issue
+	for _, sys := range Systems() {
+		out = append(out, systemIssues(sys)...)
+	}
+	return out
+}
+
+func systemIssues(sys System) []Issue {
+	m := paperMarginals[sys]
+	var real []Issue
+	for _, r := range realIssues {
+		if r.System == sys {
+			real = append(real, r)
+		}
+	}
+
+	// Residual marginals after the real issues.
+	res := m
+	res.issues -= len(real)
+	for _, r := range real {
+		res.categories[r.Category]--
+		for _, metric := range r.Metrics {
+			res.metrics[metric]--
+		}
+		if r.Conditional {
+			res.conditional--
+		}
+		if r.Indirect {
+			res.indirect--
+		}
+		res.varTypes[r.VarType]--
+		res.factors[r.Factor]--
+	}
+	assertNonNegative(sys, res)
+
+	n := res.issues
+	syn := make([]Issue, n)
+	for i := range syn {
+		syn[i] = Issue{
+			ID:     fmt.Sprintf("%s-SYN-%02d", sys.Abbrev(), i+1),
+			System: sys,
+		}
+	}
+
+	// Single-valued attributes: fill value counts in order.
+	fillEnum(n, res.categories[:], func(i, v int) { syn[i].Category = PatchCategory(v) })
+	fillEnum(n, res.varTypes[:], func(i, v int) { syn[i].VarType = VarType(v) })
+	fillEnum(n, res.factors[:], func(i, v int) { syn[i].Factor = Factor(v) })
+	for i := 0; i < res.conditional; i++ {
+		syn[i].Conditional = true
+	}
+	for i := 0; i < res.indirect; i++ {
+		syn[n-1-i].Indirect = true
+	}
+
+	// Multi-label metrics: latency on the first L, memory/disk on the last
+	// M, throughput on the first T. The paper's marginals guarantee
+	// L+M ≥ n for every system, so each record affects at least one metric.
+	for i := 0; i < res.metrics[Latency]; i++ {
+		syn[i].Metrics = append(syn[i].Metrics, Latency)
+	}
+	for i := 0; i < res.metrics[Throughput]; i++ {
+		syn[i].Metrics = append(syn[i].Metrics, Throughput)
+	}
+	for i := 0; i < res.metrics[MemoryDisk]; i++ {
+		syn[n-1-i].Metrics = append(syn[n-1-i].Metrics, MemoryDisk)
+	}
+	for i, rec := range syn {
+		if len(rec.Metrics) == 0 {
+			panic(fmt.Sprintf("study: %s synthetic record %d has no metric — marginals inconsistent", sys, i))
+		}
+		// Give each record a plausible identity (the aggregates are what is
+		// faithful; the names are representative vocabulary).
+		conf := confNameFor(sys, i)
+		syn[i].Title = titleFor(conf, rec.Category, rec.Metrics)
+	}
+	return append(real, syn...)
+}
+
+func fillEnum(n int, counts []int, set func(i, value int)) {
+	i := 0
+	for v, c := range counts {
+		for k := 0; k < c; k++ {
+			if i >= n {
+				panic("study: enum marginals exceed record count")
+			}
+			set(i, v)
+			i++
+		}
+	}
+	if i != n {
+		panic(fmt.Sprintf("study: enum marginals cover %d of %d records", i, n))
+	}
+}
+
+func assertNonNegative(sys System, m marginals) {
+	neg := m.issues < 0 || m.conditional < 0 || m.indirect < 0
+	for _, c := range m.categories {
+		neg = neg || c < 0
+	}
+	for _, c := range m.metrics {
+		neg = neg || c < 0
+	}
+	for _, c := range m.varTypes {
+		neg = neg || c < 0
+	}
+	for _, c := range m.factors {
+		neg = neg || c < 0
+	}
+	if neg {
+		panic(fmt.Sprintf("study: real issues overdraw the %v marginals", sys))
+	}
+}
+
+// Posts returns the 54-post dataset with the §2.2.1 shares: ~40% of users
+// simply ask how to set a PerfConf, ~30% of posts concern OOM.
+func Posts() []Post {
+	var out []Post
+	for _, sys := range Systems() {
+		m := paperMarginals[sys]
+		for i := 0; i < m.posts; i++ {
+			out = append(out, Post{
+				ID:           fmt.Sprintf("%s-POST-%02d", sys.Abbrev(), i+1),
+				System:       sys,
+				AsksHowToSet: i < m.postsHowTo,
+				MentionsOOM:  i >= m.posts-m.postsOOM,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package study
+
+import "fmt"
+
+// Realistic configuration-name vocabulary per system, used to give the
+// synthetic dataset rows plausible identities. Names are drawn from the real
+// systems' configuration surfaces; assignment is deterministic so the
+// dataset is stable across runs.
+var confVocabulary = map[System][]string{
+	Cassandra: {
+		"memtable_flush_writers",
+		"concurrent_writes",
+		"commitlog_segment_size_in_mb",
+		"compaction_throughput_mb_per_sec",
+		"key_cache_size_in_mb",
+		"row_cache_size_in_mb",
+		"native_transport_max_threads",
+		"sstable_preemptive_open_interval_in_mb",
+		"batch_size_warn_threshold_in_kb",
+		"hinted_handoff_throttle_in_kb",
+		"stream_throughput_outbound_megabits_per_sec",
+		"index_summary_capacity_in_mb",
+		"dynamic_snitch_badness_threshold",
+		"tombstone_warn_threshold",
+		"column_index_size_in_kb",
+		"range_request_timeout_in_ms",
+		"truncate_request_timeout_in_ms",
+		"cross_node_timeout",
+		"phi_convict_threshold",
+	},
+	HBase: {
+		"hbase.regionserver.handler.count",
+		"hbase.hregion.memstore.flush.size",
+		"hbase.hregion.max.filesize",
+		"hbase.hstore.blockingStoreFiles",
+		"hbase.hstore.compaction.max",
+		"hfile.block.cache.size",
+		"hbase.client.write.buffer",
+		"hbase.client.scanner.caching",
+		"hbase.rpc.timeout",
+		"hbase.regionserver.global.memstore.upperLimit",
+		"hbase.hregion.majorcompaction",
+		"hbase.balancer.period",
+		"hbase.master.wait.on.regionservers.maxtostart",
+		"hbase.regionserver.thread.compaction.small",
+		"hbase.hstore.flusher.count",
+		"hbase.bucketcache.size",
+		"hbase.hregion.memstore.block.multiplier",
+		"hbase.server.thread.wakefrequency",
+		"hbase.regionserver.msginterval",
+		"hbase.zookeeper.property.tickTime",
+		"hbase.regionserver.logroll.period",
+		"hbase.hlog.blocksize",
+		"hbase.regionserver.maxlogs",
+		"hbase.snapshot.master.timeout.millis",
+		"hbase.rest.threads.max",
+		"hbase.thrift.maxWorkerThreads",
+		"hbase.ipc.server.callqueue.read.ratio",
+	},
+	HDFS: {
+		"dfs.namenode.handler.count",
+		"dfs.datanode.handler.count",
+		"dfs.blocksize",
+		"dfs.replication",
+		"dfs.namenode.replication.max-streams",
+		"dfs.balancer.moverThreads",
+		"dfs.datanode.max.transfer.threads",
+		"dfs.image.transfer.bandwidthPerSec",
+		"dfs.namenode.checkpoint.period",
+		"dfs.client.read.shortcircuit.streams.cache.size",
+		"dfs.namenode.max.op.size",
+		"dfs.datanode.balance.bandwidthPerSec",
+		"dfs.heartbeat.interval",
+		"dfs.namenode.safemode.threshold-pct",
+		"dfs.datanode.du.reserved",
+		"dfs.stream-buffer-size",
+		"dfs.namenode.fs-limits.max-blocks-per-file",
+		"dfs.client.socket-timeout",
+		"dfs.max.packets",
+	},
+	MapReduce: {
+		"mapreduce.task.io.sort.mb",
+		"mapreduce.map.sort.spill.percent",
+		"mapreduce.reduce.shuffle.parallelcopies",
+		"mapreduce.job.counters.limit",
+		"mapreduce.tasktracker.map.tasks.maximum",
+		"mapreduce.jobtracker.handler.count",
+		"mapreduce.reduce.shuffle.input.buffer.percent",
+		"mapreduce.map.speculative",
+		"mapreduce.job.reduce.slowstart.completedmaps",
+	},
+}
+
+// confNameFor assigns a realistic configuration name to the i-th synthetic
+// record of a system (the six real issues carry their true names).
+func confNameFor(sys System, i int) string {
+	vocab := confVocabulary[sys]
+	if len(vocab) == 0 {
+		return fmt.Sprintf("%s.conf.%d", sys.Abbrev(), i)
+	}
+	return vocab[i%len(vocab)]
+}
+
+// titleFor composes a plausible issue title from the record's attributes.
+func titleFor(conf string, cat PatchCategory, metrics []Metric) string {
+	effect := "performance"
+	if len(metrics) > 0 {
+		switch metrics[0] {
+		case Latency:
+			effect = "request latency"
+		case Throughput:
+			effect = "job throughput"
+		case MemoryDisk:
+			effect = "memory/disk consumption"
+		}
+	}
+	switch cat {
+	case TuneNewFunctionality:
+		return fmt.Sprintf("add %s to tune a new feature's impact on %s", conf, effect)
+	case ReplaceHardCoded:
+		return fmt.Sprintf("make hard-coded %s configurable (%s impact)", conf, effect)
+	case RefineExisting:
+		return fmt.Sprintf("refine %s for finer control over %s", conf, effect)
+	default:
+		return fmt.Sprintf("fix poor default of %s causing %s problems", conf, effect)
+	}
+}

@@ -1,0 +1,197 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PerSystem holds one count per studied system, in the paper's column order.
+type PerSystem [numSystems]int
+
+// Total sums the row.
+func (p PerSystem) Total() int {
+	t := 0
+	for _, v := range p {
+		t += v
+	}
+	return t
+}
+
+// Table2 is the empirical study suite (paper Table 2): PerfConf vs AllConf
+// issues and posts per system.
+type Table2 struct {
+	PerfIssues PerSystem
+	PerfPosts  PerSystem
+	AllIssues  PerSystem
+	AllPosts   PerSystem
+}
+
+// BuildTable2 aggregates the dataset into Table 2.
+func BuildTable2() Table2 {
+	var t Table2
+	for _, i := range Issues() {
+		t.PerfIssues[i.System]++
+	}
+	for _, p := range Posts() {
+		t.PerfPosts[p.System]++
+	}
+	for sys, c := range AllConf() {
+		t.AllIssues[sys] = c.Issues
+		t.AllPosts[sys] = c.Posts
+	}
+	return t
+}
+
+// Render formats the table like the paper.
+func (t Table2) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %8s %10s %8s\n", "", "PerfConf", "", "AllConf", "")
+	fmt.Fprintf(&b, "%-12s %10s %8s %10s %8s\n", "", "Issues", "Posts", "Issues", "Posts")
+	for _, sys := range Systems() {
+		fmt.Fprintf(&b, "%-12s %10d %8d %10d %8d\n",
+			sys, t.PerfIssues[sys], t.PerfPosts[sys], t.AllIssues[sys], t.AllPosts[sys])
+	}
+	fmt.Fprintf(&b, "%-12s %10d %8d %10d %8d\n",
+		"Total", t.PerfIssues.Total(), t.PerfPosts.Total(), t.AllIssues.Total(), t.AllPosts.Total())
+	return b.String()
+}
+
+// Table3 categorizes PerfConf patches (paper Table 3).
+type Table3 struct {
+	Categories [numCategories]PerSystem
+}
+
+// BuildTable3 aggregates the dataset into Table 3.
+func BuildTable3() Table3 {
+	var t Table3
+	for _, i := range Issues() {
+		t.Categories[i.Category][i.System]++
+	}
+	return t
+}
+
+// Render formats the table like the paper.
+func (t Table3) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %4s %4s %4s %4s\n", "Category", "CA", "HB", "HD", "MR")
+	fmt.Fprintln(&b, "Add a new configuration to ...")
+	order := []PatchCategory{TuneNewFunctionality, ReplaceHardCoded, RefineExisting}
+	for _, c := range order {
+		row := t.Categories[c]
+		fmt.Fprintf(&b, "  %-26s %4d %4d %4d %4d\n", c, row[Cassandra], row[HBase], row[HDFS], row[MapReduce])
+	}
+	fmt.Fprintln(&b, "Change an existing configuration to ...")
+	row := t.Categories[FixPoorDefault]
+	fmt.Fprintf(&b, "  %-26s %4d %4d %4d %4d\n", FixPoorDefault, row[Cassandra], row[HBase], row[HDFS], row[MapReduce])
+	return b.String()
+}
+
+// Table4 reports how PerfConfs affect performance (paper Table 4).
+type Table4 struct {
+	Metrics     [numMetrics]PerSystem
+	AlwaysOn    PerSystem
+	Conditional PerSystem
+	Direct      PerSystem
+	Indirect    PerSystem
+}
+
+// BuildTable4 aggregates the dataset into Table 4.
+func BuildTable4() Table4 {
+	var t Table4
+	for _, i := range Issues() {
+		for _, m := range i.Metrics {
+			t.Metrics[m][i.System]++
+		}
+		if i.Conditional {
+			t.Conditional[i.System]++
+		} else {
+			t.AlwaysOn[i.System]++
+		}
+		if i.Indirect {
+			t.Indirect[i.System]++
+		} else {
+			t.Direct[i.System]++
+		}
+	}
+	return t
+}
+
+// Render formats the table like the paper.
+func (t Table4) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %4s %4s %4s %4s\n", "", "CA", "HB", "HD", "MR")
+	for m := Metric(0); m < numMetrics; m++ {
+		row := t.Metrics[m]
+		fmt.Fprintf(&b, "%-28s %4d %4d %4d %4d\n", m, row[Cassandra], row[HBase], row[HDFS], row[MapReduce])
+	}
+	fmt.Fprintln(&b)
+	rows := []struct {
+		name string
+		row  PerSystem
+	}{
+		{"Always-on Impact", t.AlwaysOn},
+		{"Conditional Impact", t.Conditional},
+		{"Direct Impact", t.Direct},
+		{"Indirect Impact", t.Indirect},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %4d %4d %4d %4d\n", r.name, r.row[Cassandra], r.row[HBase], r.row[HDFS], r.row[MapReduce])
+	}
+	return b.String()
+}
+
+// Table5 reports how PerfConfs are set (paper Table 5): variable types and
+// deciding factors.
+type Table5 struct {
+	VarTypes [numVarTypes]PerSystem
+	Factors  [numFactors]PerSystem
+}
+
+// BuildTable5 aggregates the dataset into Table 5.
+func BuildTable5() Table5 {
+	var t Table5
+	for _, i := range Issues() {
+		t.VarTypes[i.VarType][i.System]++
+		t.Factors[i.Factor][i.System]++
+	}
+	return t
+}
+
+// Render formats the table like the paper.
+func (t Table5) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %4s %4s %4s %4s\n", "", "CA", "HB", "HD", "MR")
+	fmt.Fprintln(&b, "Configuration Variable Type")
+	for v := VarType(0); v < numVarTypes; v++ {
+		row := t.VarTypes[v]
+		fmt.Fprintf(&b, "  %-32s %4d %4d %4d %4d\n", v, row[Cassandra], row[HBase], row[HDFS], row[MapReduce])
+	}
+	fmt.Fprintln(&b, "Deciding Factors")
+	for f := Factor(0); f < numFactors; f++ {
+		row := t.Factors[f]
+		fmt.Fprintf(&b, "  %-32s %4d %4d %4d %4d\n", f, row[Cassandra], row[HBase], row[HDFS], row[MapReduce])
+	}
+	return b.String()
+}
+
+// PostStats summarizes §2.2.1's post statistics.
+type PostStats struct {
+	Total        int
+	AsksHowToSet int
+	MentionsOOM  int
+}
+
+// BuildPostStats aggregates the posts dataset.
+func BuildPostStats() PostStats {
+	var s PostStats
+	for _, p := range Posts() {
+		s.Total++
+		if p.AsksHowToSet {
+			s.AsksHowToSet++
+		}
+		if p.MentionsOOM {
+			s.MentionsOOM++
+		}
+	}
+	return s
+}

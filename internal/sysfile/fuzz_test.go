@@ -1,0 +1,78 @@
+package sysfile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzzing the three line-oriented parsers: they must never panic, and
+// anything they accept must survive an encode→parse round trip.
+
+func FuzzParseSys(f *testing.F) {
+	f.Add(sampleSys)
+	f.Add("c @ m\nc = 5\nprofiling = 1\n")
+	f.Add("x.max @ m\nx.max = 1\nx.max.max = 2\n")
+	f.Add("/* only a comment */\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		sys, err := ParseSys(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := sys.Encode(&buf); err != nil {
+			t.Fatalf("accepted input failed to encode: %v", err)
+		}
+		again, err := ParseSys(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding failed to re-parse: %v\n%s", err, buf.String())
+		}
+		if len(again.Bindings) != len(sys.Bindings) {
+			t.Fatalf("round trip lost bindings: %d → %d", len(sys.Bindings), len(again.Bindings))
+		}
+	})
+}
+
+func FuzzParseGoals(f *testing.F) {
+	f.Add("m.goal = 1\nm.goal.hard = 1\n")
+	f.Add("m = 5\nm.superhard = 1\nn.goal.lower = 1\nn.goal = 2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		goals, err := ParseGoals(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := goals.Encode(&buf); err != nil {
+			t.Fatalf("accepted goals failed to encode: %v", err)
+		}
+		again, err := ParseGoals(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding failed to re-parse: %v\n%s", err, buf.String())
+		}
+		if len(again) != len(goals) {
+			t.Fatalf("round trip lost goals: %d → %d", len(goals), len(again))
+		}
+	})
+}
+
+func FuzzParseProfile(f *testing.F) {
+	f.Add("sample 1 2\nsample 1 3\nsample 2 4\n")
+	f.Add("/* hdr */\nsample -1.5 1e9\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParseProfile(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeProfile(&buf, p); err != nil {
+			t.Fatalf("accepted profile failed to encode: %v", err)
+		}
+		again, err := ParseProfile(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding failed to re-parse: %v", err)
+		}
+		if again.TotalSamples() != p.TotalSamples() {
+			t.Fatalf("round trip lost samples: %d → %d", p.TotalSamples(), again.TotalSamples())
+		}
+	})
+}

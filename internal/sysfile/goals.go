@@ -1,0 +1,120 @@
+package sysfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// GoalSpec is a user's declared performance goal for one metric (§4.3):
+// a numeric target plus the hard / super-hard flags. Users never set the
+// configuration values themselves under SmartConf — only these goals.
+type GoalSpec struct {
+	Metric    string
+	Target    float64
+	Hard      bool
+	SuperHard bool
+	// LowerBound marks metrics that must stay at or ABOVE the target
+	// (e.g. minimum throughput). All goals in the paper's suite are upper
+	// bounds, which is the default.
+	LowerBound bool
+}
+
+// Goals is the parsed user-facing configuration file: metric name → goal.
+type Goals map[string]GoalSpec
+
+// ParseGoals reads a user configuration file. Both the paper's Figure 2
+// spelling ("metric = 1024", "metric.hard = 1") and the §4.1.1 spelling
+// ("metric.goal = 1024", "metric.goal.hard = 1") are accepted.
+func ParseGoals(r io.Reader) (Goals, error) {
+	goals := make(Goals)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	ensure := func(metric string) GoalSpec {
+		g, ok := goals[metric]
+		if !ok {
+			g = GoalSpec{Metric: metric}
+		}
+		return g
+	}
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := stripComments(raw)
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "=", 2)
+		if len(parts) != 2 {
+			return nil, &ParseError{lineNo, raw, "expected key = value"}
+		}
+		key := strings.TrimSpace(parts[0])
+		val := strings.TrimSpace(parts[1])
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, &ParseError{lineNo, raw, "malformed numeric value"}
+		}
+		// Normalize: strip an optional ".goal" segment so both spellings land
+		// on the same key space.
+		metric := key
+		var attr string
+		for _, suffix := range []string{".hard", ".superhard", ".lower"} {
+			if strings.HasSuffix(metric, suffix) {
+				attr = suffix[1:]
+				metric = strings.TrimSuffix(metric, suffix)
+				break
+			}
+		}
+		metric = strings.TrimSuffix(metric, ".goal")
+		if metric == "" {
+			return nil, &ParseError{lineNo, raw, "empty metric name"}
+		}
+		g := ensure(metric)
+		switch attr {
+		case "":
+			g.Target = f
+		case "hard":
+			g.Hard = f != 0
+		case "superhard":
+			g.SuperHard = f != 0
+			if g.SuperHard {
+				g.Hard = true // super-hard implies hard
+			}
+		case "lower":
+			g.LowerBound = f != 0
+		}
+		goals[metric] = g
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sysfile: reading goals: %w", err)
+	}
+	return goals, nil
+}
+
+// Encode writes the goals file in the §4.1.1 spelling, metrics sorted by name.
+func (g Goals) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "/* user-facing goals — set the constraint, not the knob */")
+	metrics := make([]string, 0, len(g))
+	for m := range g {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+	for _, m := range metrics {
+		spec := g[m]
+		fmt.Fprintf(bw, "%s.goal = %s\n", m, formatFloat(spec.Target))
+		if spec.Hard {
+			fmt.Fprintf(bw, "%s.goal.hard = 1\n", m)
+		}
+		if spec.SuperHard {
+			fmt.Fprintf(bw, "%s.goal.superhard = 1\n", m)
+		}
+		if spec.LowerBound {
+			fmt.Fprintf(bw, "%s.goal.lower = 1\n", m)
+		}
+	}
+	return bw.Flush()
+}

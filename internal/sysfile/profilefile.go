@@ -1,0 +1,65 @@
+package sysfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"smartconf/internal/core"
+)
+
+// The per-configuration profiling file "<ConfName>.SmartConf.sys" (§5.5)
+// stores raw profiling samples, one per line:
+//
+//	sample <setting> <measurement>
+//
+// The SmartConf constructor reads these and synthesizes the controller
+// parameters (α, pole, λ, virtual goal) itself; nothing control-specific is
+// ever written by a human.
+
+// ParseProfile reads a profiling file into a core.Profile.
+func ParseProfile(r io.Reader) (core.Profile, error) {
+	col := core.NewCollector()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := stripComments(raw)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "sample" {
+			return core.Profile{}, &ParseError{lineNo, raw, "expected: sample <setting> <measurement>"}
+		}
+		setting, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return core.Profile{}, &ParseError{lineNo, raw, "malformed setting"}
+		}
+		measurement, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return core.Profile{}, &ParseError{lineNo, raw, "malformed measurement"}
+		}
+		col.Record(setting, measurement)
+	}
+	if err := sc.Err(); err != nil {
+		return core.Profile{}, fmt.Errorf("sysfile: reading profile: %w", err)
+	}
+	return col.Profile(), nil
+}
+
+// EncodeProfile writes a core.Profile in the profiling-file format.
+// ParseProfile(EncodeProfile(p)) reproduces p (settings sorted ascending).
+func EncodeProfile(w io.Writer, p core.Profile) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "/* profiling samples: sample <setting> <measurement> */")
+	for _, s := range p.Settings {
+		for _, m := range s.Samples {
+			fmt.Fprintf(bw, "sample %s %s\n", formatFloat(s.Setting), formatFloat(m))
+		}
+	}
+	return bw.Flush()
+}

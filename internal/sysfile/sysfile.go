@@ -1,0 +1,214 @@
+// Package sysfile implements SmartConf's on-disk formats (§4.1 and §5.5 of
+// the paper):
+//
+//   - the SmartConf system file ("SmartConf.sys"), written by developers and
+//     invisible to users, which binds each SmartConf configuration entry C to
+//     the performance metric M it affects and records C's starting value;
+//   - the user-facing configuration file, where users state the numeric goal
+//     for each metric and whether the goal is a hard (and optionally
+//     super-hard) constraint;
+//   - the per-configuration profiling file ("<ConfName>.SmartConf.sys"),
+//     which stores the raw (setting, measurement) samples the controller
+//     constructor synthesizes its parameters from.
+//
+// The grammar is line-oriented and mirrors the paper's Figure 2:
+//
+//	/* comments */ and # comments
+//	max.queue.size @ memory_consumption      (binding)
+//	max.queue.size = 50                      (initial value)
+//	max.queue.size.min = 0                   (optional actuator bounds)
+//	max.queue.size.max = 5000
+//	profiling = 1                            (enable profiling mode)
+//
+// and, for the user file:
+//
+//	memory_consumption.goal = 1024
+//	memory_consumption.goal.hard = 1
+//	memory_consumption.goal.superhard = 1
+package sysfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Binding maps one configuration entry to its performance metric, with the
+// initial setting and optional actuator bounds from the system file.
+type Binding struct {
+	Conf    string
+	Metric  string
+	Initial float64
+	// HasInitial distinguishes an explicit "C = 0" from an absent line.
+	HasInitial bool
+	Min        float64
+	Max        float64 // +Inf when unset
+	HasMin     bool
+	HasMax     bool
+}
+
+// Sys is a parsed SmartConf system file.
+type Sys struct {
+	// Bindings in file order.
+	Bindings []Binding
+	// Profiling reports whether profiling mode is enabled (§5.5).
+	Profiling bool
+}
+
+// Binding returns the binding for conf, if present.
+func (s *Sys) Binding(conf string) (Binding, bool) {
+	for _, b := range s.Bindings {
+		if b.Conf == conf {
+			return b, true
+		}
+	}
+	return Binding{}, false
+}
+
+// MetricConfs returns the names of all configurations bound to metric, in
+// file order. The Manager uses this to derive the §5.4 interaction factor N
+// for super-hard goals.
+func (s *Sys) MetricConfs(metric string) []string {
+	var out []string
+	for _, b := range s.Bindings {
+		if b.Metric == metric {
+			out = append(out, b.Conf)
+		}
+	}
+	return out
+}
+
+// ParseError describes a malformed line with its 1-based line number.
+type ParseError struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sysfile: line %d: %s: %q", e.Line, e.Msg, e.Text)
+}
+
+// stripComments removes /* ... */ (single line) and # trailers.
+func stripComments(line string) string {
+	for {
+		start := strings.Index(line, "/*")
+		if start < 0 {
+			break
+		}
+		end := strings.Index(line[start:], "*/")
+		if end < 0 {
+			line = line[:start]
+			break
+		}
+		line = line[:start] + line[start+end+2:]
+	}
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+// ParseSys reads a SmartConf system file.
+func ParseSys(r io.Reader) (*Sys, error) {
+	sys := &Sys{}
+	index := make(map[string]int) // conf → position in sys.Bindings
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	ensure := func(conf string) *Binding {
+		if i, ok := index[conf]; ok {
+			return &sys.Bindings[i]
+		}
+		sys.Bindings = append(sys.Bindings, Binding{Conf: conf, Max: math.Inf(1)})
+		index[conf] = len(sys.Bindings) - 1
+		return &sys.Bindings[len(sys.Bindings)-1]
+	}
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := stripComments(raw)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.Contains(line, "@"):
+			parts := strings.SplitN(line, "@", 2)
+			conf := strings.TrimSpace(parts[0])
+			metric := strings.TrimSpace(parts[1])
+			if conf == "" || metric == "" {
+				return nil, &ParseError{lineNo, raw, "malformed binding"}
+			}
+			ensure(conf).Metric = metric
+		case strings.Contains(line, "="):
+			parts := strings.SplitN(line, "=", 2)
+			key := strings.TrimSpace(parts[0])
+			val := strings.TrimSpace(parts[1])
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, &ParseError{lineNo, raw, "malformed numeric value"}
+			}
+			// Disambiguation: a configuration may itself be named "*.min" or
+			// "*.max" (e.g. "request.queue.max"), so an exact match against
+			// an already-declared binding wins over the bound-suffix reading.
+			// Declare bindings (the "@" line) before their attributes.
+			_, exact := index[key]
+			switch {
+			case key == "profiling":
+				sys.Profiling = f != 0
+			case !exact && strings.HasSuffix(key, ".min"):
+				b := ensure(strings.TrimSuffix(key, ".min"))
+				b.Min, b.HasMin = f, true
+			case !exact && strings.HasSuffix(key, ".max"):
+				b := ensure(strings.TrimSuffix(key, ".max"))
+				b.Max, b.HasMax = f, true
+			default:
+				b := ensure(key)
+				b.Initial, b.HasInitial = f, true
+			}
+		default:
+			return nil, &ParseError{lineNo, raw, "unrecognized directive"}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sysfile: reading system file: %w", err)
+	}
+	for _, b := range sys.Bindings {
+		if b.Metric == "" {
+			return nil, fmt.Errorf("sysfile: configuration %q has no metric binding", b.Conf)
+		}
+	}
+	return sys, nil
+}
+
+// Encode writes the system file in canonical form (bindings sorted by
+// configuration name). Parsing the output yields an equivalent Sys.
+func (s *Sys) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "/* SmartConf.sys — generated; maps each configuration to its metric */")
+	bindings := append([]Binding(nil), s.Bindings...)
+	sort.Slice(bindings, func(i, j int) bool { return bindings[i].Conf < bindings[j].Conf })
+	for _, b := range bindings {
+		fmt.Fprintf(bw, "%s @ %s\n", b.Conf, b.Metric)
+		if b.HasInitial {
+			fmt.Fprintf(bw, "%s = %s\n", b.Conf, formatFloat(b.Initial))
+		}
+		if b.HasMin {
+			fmt.Fprintf(bw, "%s.min = %s\n", b.Conf, formatFloat(b.Min))
+		}
+		if b.HasMax && !math.IsInf(b.Max, 1) {
+			fmt.Fprintf(bw, "%s.max = %s\n", b.Conf, formatFloat(b.Max))
+		}
+	}
+	if s.Profiling {
+		fmt.Fprintln(bw, "profiling = 1")
+	}
+	return bw.Flush()
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

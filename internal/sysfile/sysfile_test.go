@@ -1,0 +1,298 @@
+package sysfile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"smartconf/internal/core"
+)
+
+const sampleSys = `
+/* SmartConf.sys */
+max.queue.size @ memory_consumption
+max.queue.size = 50
+max.queue.size.min = 0
+max.queue.size.max = 5000
+
+response.queue.maxsize @ memory_consumption  # shares the metric
+response.queue.maxsize = 1048576
+
+profiling = 1
+`
+
+func TestParseSys(t *testing.T) {
+	sys, err := ParseSys(strings.NewReader(sampleSys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Profiling {
+		t.Error("profiling flag not parsed")
+	}
+	b, ok := sys.Binding("max.queue.size")
+	if !ok {
+		t.Fatal("missing binding for max.queue.size")
+	}
+	if b.Metric != "memory_consumption" {
+		t.Errorf("metric = %q", b.Metric)
+	}
+	if !b.HasInitial || b.Initial != 50 {
+		t.Errorf("initial = %v (has=%v), want 50", b.Initial, b.HasInitial)
+	}
+	if !b.HasMin || b.Min != 0 || !b.HasMax || b.Max != 5000 {
+		t.Errorf("bounds = [%v,%v]", b.Min, b.Max)
+	}
+	confs := sys.MetricConfs("memory_consumption")
+	if len(confs) != 2 {
+		t.Errorf("MetricConfs = %v, want both queues", confs)
+	}
+	if _, ok := sys.Binding("nope"); ok {
+		t.Error("Binding should miss unknown conf")
+	}
+}
+
+func TestParseSysDefaults(t *testing.T) {
+	sys, err := ParseSys(strings.NewReader("c @ m\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sys.Binding("c")
+	if b.HasInitial {
+		t.Error("no initial line should leave HasInitial false")
+	}
+	if !math.IsInf(b.Max, 1) {
+		t.Errorf("default max = %v, want +Inf", b.Max)
+	}
+}
+
+func TestParseSysErrors(t *testing.T) {
+	cases := []string{
+		"c @\n",             // empty metric
+		"@ m\n",             // empty conf
+		"c = notanumber\n",  // bad value
+		"just some words\n", // unrecognized
+		"c = 5\n",           // value without any binding
+		"c.min = 1\nc @\n",  // later malformed binding
+	}
+	for _, in := range cases {
+		if _, err := ParseSys(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseSys(%q) succeeded, want error", in)
+		}
+	}
+	var pe *ParseError
+	_, err := ParseSys(strings.NewReader("???\n"))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error %v should carry a line number", err)
+	}
+	_ = pe
+}
+
+func TestSysRoundTrip(t *testing.T) {
+	sys, err := ParseSys(strings.NewReader(sampleSys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSys(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parsing encoded sys: %v\n%s", err, buf.String())
+	}
+	if again.Profiling != sys.Profiling || len(again.Bindings) != len(sys.Bindings) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", again, sys)
+	}
+	for _, b := range sys.Bindings {
+		got, ok := again.Binding(b.Conf)
+		if !ok {
+			t.Fatalf("lost binding %q", b.Conf)
+		}
+		if got.Metric != b.Metric || got.Initial != b.Initial || got.HasInitial != b.HasInitial {
+			t.Errorf("binding %q mismatch: %+v vs %+v", b.Conf, got, b)
+		}
+	}
+}
+
+func TestStripComments(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a = 1 /* note */", "a = 1"},
+		{"/* whole line */", ""},
+		{"a = 1 # trailing", "a = 1"},
+		{"  a /* x */ = /* y */ 1 ", "a  =  1"},
+		{"a = 1 /* unterminated", "a = 1"},
+	}
+	for _, c := range cases {
+		if got := stripComments(c.in); got != c.want {
+			t.Errorf("stripComments(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseGoalsBothSpellings(t *testing.T) {
+	in := `
+/* figure-2 spelling */
+memory_consumption = 1024
+memory_consumption.hard = 1
+
+/* section-4.1.1 spelling */
+latency.goal = 10.5
+latency.goal.hard = 0
+throughput.goal = 100
+throughput.goal.lower = 1
+queue_mem.goal = 512
+queue_mem.goal.superhard = 1
+`
+	goals, err := ParseGoals(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := goals["memory_consumption"]
+	if mem.Target != 1024 || !mem.Hard {
+		t.Errorf("memory goal = %+v", mem)
+	}
+	lat := goals["latency"]
+	if lat.Target != 10.5 || lat.Hard {
+		t.Errorf("latency goal = %+v", lat)
+	}
+	tput := goals["throughput"]
+	if !tput.LowerBound || tput.Target != 100 {
+		t.Errorf("throughput goal = %+v", tput)
+	}
+	qm := goals["queue_mem"]
+	if !qm.SuperHard || !qm.Hard {
+		t.Errorf("super-hard should imply hard: %+v", qm)
+	}
+}
+
+func TestParseGoalsErrors(t *testing.T) {
+	for _, in := range []string{"x\n", "x = nan99z\n", ".goal = 5\n"} {
+		if _, err := ParseGoals(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseGoals(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestGoalsRoundTrip(t *testing.T) {
+	goals := Goals{
+		"mem":  {Metric: "mem", Target: 495, Hard: true, SuperHard: true},
+		"lat":  {Metric: "lat", Target: 9.25},
+		"tput": {Metric: "tput", Target: 50, LowerBound: true},
+	}
+	var buf bytes.Buffer
+	if err := goals.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseGoals(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parsing: %v\n%s", err, buf.String())
+	}
+	for m, want := range goals {
+		got := again[m]
+		if got.Target != want.Target || got.Hard != want.Hard ||
+			got.SuperHard != want.SuperHard || got.LowerBound != want.LowerBound {
+			t.Errorf("goal %q: got %+v, want %+v", m, got, want)
+		}
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	col := core.NewCollector()
+	col.Record(40, 180.5)
+	col.Record(40, 190.25)
+	col.Record(80, 350)
+	col.Record(120, 520)
+	p := col.Profile()
+
+	var buf bytes.Buffer
+	if err := EncodeProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseProfile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parsing: %v\n%s", err, buf.String())
+	}
+	if again.TotalSamples() != p.TotalSamples() || len(again.Settings) != len(p.Settings) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", again, p)
+	}
+	for i := range p.Settings {
+		if again.Settings[i].Setting != p.Settings[i].Setting {
+			t.Errorf("setting[%d] = %v, want %v", i, again.Settings[i].Setting, p.Settings[i].Setting)
+		}
+		for j := range p.Settings[i].Samples {
+			if again.Settings[i].Samples[j] != p.Settings[i].Samples[j] {
+				t.Errorf("sample[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	for _, in := range []string{
+		"sample 1\n",
+		"notsample 1 2\n",
+		"sample x 2\n",
+		"sample 1 y\n",
+	} {
+		if _, err := ParseProfile(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseProfile(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// Property: any profile of finite samples survives an encode/parse cycle.
+func TestProfileRoundTripProperty(t *testing.T) {
+	f := func(settings []uint8, values []int32) bool {
+		if len(settings) == 0 || len(values) == 0 {
+			return true
+		}
+		col := core.NewCollector()
+		for i, v := range values {
+			s := float64(settings[i%len(settings)])
+			col.Record(s, float64(v)/16)
+		}
+		p := col.Profile()
+		var buf bytes.Buffer
+		if err := EncodeProfile(&buf, p); err != nil {
+			return false
+		}
+		again, err := ParseProfile(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		return again.TotalSamples() == p.TotalSamples() && len(again.Settings) == len(p.Settings)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSysConfNamedDotMax(t *testing.T) {
+	// A configuration whose own name ends in ".max" must not be mistaken
+	// for another binding's bound attribute.
+	in := `
+request.queue.max @ memory
+request.queue.max = 7
+request.queue.max.max = 100
+request.queue.max.min = 1
+`
+	sys, err := ParseSys(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Bindings) != 1 {
+		t.Fatalf("bindings = %+v, want exactly one", sys.Bindings)
+	}
+	b, ok := sys.Binding("request.queue.max")
+	if !ok {
+		t.Fatal("binding missing")
+	}
+	if !b.HasInitial || b.Initial != 7 || !b.HasMax || b.Max != 100 || !b.HasMin || b.Min != 1 {
+		t.Errorf("binding = %+v", b)
+	}
+}

@@ -1,0 +1,43 @@
+package workload
+
+// Standard YCSB core-workload presets (A–F, minus the scan-based E, which
+// has no analogue in these substrates). The paper profiles with YCSB-A; the
+// robustness harness exercises the others as unseen workloads.
+
+// PresetA is YCSB workload A: update heavy, 50/50 read-write.
+func PresetA(requestBytes int64, opsPerSec float64) YCSBPhase {
+	return YCSBPhase{Name: "ycsb-a", WriteRatio: 0.5, RequestBytes: requestBytes, OpsPerSec: opsPerSec}
+}
+
+// PresetB is YCSB workload B: read mostly, 95/5.
+func PresetB(requestBytes int64, opsPerSec float64) YCSBPhase {
+	return YCSBPhase{Name: "ycsb-b", WriteRatio: 0.05, RequestBytes: requestBytes, OpsPerSec: opsPerSec}
+}
+
+// PresetC is YCSB workload C: read only.
+func PresetC(requestBytes int64, opsPerSec float64) YCSBPhase {
+	return YCSBPhase{Name: "ycsb-c", WriteRatio: 0, RequestBytes: requestBytes, OpsPerSec: opsPerSec}
+}
+
+// PresetD is YCSB workload D: read latest, 95/5 (the recency skew is not
+// modelled; the mix is).
+func PresetD(requestBytes int64, opsPerSec float64) YCSBPhase {
+	return YCSBPhase{Name: "ycsb-d", WriteRatio: 0.05, RequestBytes: requestBytes, OpsPerSec: opsPerSec}
+}
+
+// PresetF is YCSB workload F: read-modify-write, modelled as 50% writes
+// (every logical op touches the write path once).
+func PresetF(requestBytes int64, opsPerSec float64) YCSBPhase {
+	return YCSBPhase{Name: "ycsb-f", WriteRatio: 0.5, RequestBytes: requestBytes, OpsPerSec: opsPerSec}
+}
+
+// Presets returns all modelled core workloads.
+func Presets(requestBytes int64, opsPerSec float64) []YCSBPhase {
+	return []YCSBPhase{
+		PresetA(requestBytes, opsPerSec),
+		PresetB(requestBytes, opsPerSec),
+		PresetC(requestBytes, opsPerSec),
+		PresetD(requestBytes, opsPerSec),
+		PresetF(requestBytes, opsPerSec),
+	}
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestYCSBDeterminism(t *testing.T) {
+	phase := YCSBPhase{WriteRatio: 0.5, RequestBytes: 1 << 20, OpsPerSec: 100}
+	a := NewYCSB(42, 1000, phase)
+	b := NewYCSB(42, 1000, phase)
+	for i := 0; i < 100; i++ {
+		if a.NextInterarrival() != b.NextInterarrival() {
+			t.Fatal("interarrival streams diverge for identical seeds")
+		}
+		oa, ob := a.NextOp(), b.NextOp()
+		if oa != ob {
+			t.Fatalf("op streams diverge: %+v vs %+v", oa, ob)
+		}
+	}
+}
+
+func TestYCSBWriteRatio(t *testing.T) {
+	phase := YCSBPhase{WriteRatio: 0.7, RequestBytes: 1024, OpsPerSec: 100}
+	y := NewYCSB(1, 1000, phase)
+	writes := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if y.NextOp().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.67 || frac > 0.73 {
+		t.Errorf("write fraction = %v, want ≈0.7", frac)
+	}
+}
+
+func TestYCSBRequestSizeJitter(t *testing.T) {
+	phase := YCSBPhase{WriteRatio: 1, RequestBytes: 1000, OpsPerSec: 100}
+	y := NewYCSB(2, 10, phase)
+	var sum int64
+	for i := 0; i < 5000; i++ {
+		b := y.NextOp().Bytes
+		if b < 800 || b > 1200 {
+			t.Fatalf("request bytes %d outside ±20%% jitter band", b)
+		}
+		sum += b
+	}
+	mean := float64(sum) / 5000
+	if mean < 950 || mean > 1050 {
+		t.Errorf("mean request bytes = %v, want ≈1000", mean)
+	}
+}
+
+func TestYCSBArrivalRate(t *testing.T) {
+	phase := YCSBPhase{WriteRatio: 1, RequestBytes: 1, OpsPerSec: 50}
+	y := NewYCSB(3, 10, phase)
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += y.NextInterarrival()
+	}
+	rate := float64(n) / total.Seconds()
+	if rate < 45 || rate > 55 {
+		t.Errorf("arrival rate = %v, want ≈50", rate)
+	}
+}
+
+func TestYCSBIdlePhase(t *testing.T) {
+	y := NewYCSB(4, 10, YCSBPhase{OpsPerSec: 0})
+	if got := y.NextInterarrival(); got < time.Minute {
+		t.Errorf("idle interarrival = %v, want huge", got)
+	}
+}
+
+func TestYCSBSetPhase(t *testing.T) {
+	y := NewYCSB(5, 10, YCSBPhase{WriteRatio: 0, RequestBytes: 10, OpsPerSec: 1})
+	y.SetPhase(YCSBPhase{WriteRatio: 1, RequestBytes: 10, OpsPerSec: 1})
+	for i := 0; i < 100; i++ {
+		if !y.NextOp().Write {
+			t.Fatal("after SetPhase(WriteRatio=1) saw a read")
+		}
+	}
+	if y.Phase().WriteRatio != 1 {
+		t.Error("Phase() does not reflect SetPhase")
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	phases := []YCSBPhase{
+		{Name: "p1", Duration: 100 * time.Second},
+		{Name: "p2", Duration: 200 * time.Second},
+	}
+	p, ok := PhaseAt(phases, 50*time.Second)
+	if !ok || p.Name != "p1" {
+		t.Errorf("at 50s: %v %v", p.Name, ok)
+	}
+	p, ok = PhaseAt(phases, 150*time.Second)
+	if !ok || p.Name != "p2" {
+		t.Errorf("at 150s: %v %v", p.Name, ok)
+	}
+	p, ok = PhaseAt(phases, 500*time.Second)
+	if ok || p.Name != "p2" {
+		t.Errorf("past end: %v %v (want p2, exhausted)", p.Name, ok)
+	}
+	// Terminal phase (Duration 0) never exhausts.
+	phases[1].Duration = 0
+	p, ok = PhaseAt(phases, 1e9*time.Second)
+	if !ok || p.Name != "p2" {
+		t.Errorf("terminal: %v %v", p.Name, ok)
+	}
+	if _, ok := PhaseAt(nil, 0); ok {
+		t.Error("empty schedule should report not-ok")
+	}
+}
+
+func TestWordCountJob(t *testing.T) {
+	j := WordCountJob{
+		Name:       "phase-1",
+		InputBytes: 640 << 20,
+		SplitBytes: 64 << 20,
+	}
+	if got := j.MapTasks(); got != 10 {
+		t.Errorf("MapTasks = %d, want 10", got)
+	}
+	if got := j.IntermediateBytesPerTask(); got != 64<<20 {
+		t.Errorf("intermediate = %d, want 64MB", got)
+	}
+
+	// Non-even split rounds up.
+	j2 := WordCountJob{InputBytes: 100, SplitBytes: 64}
+	if got := j2.MapTasks(); got != 2 {
+		t.Errorf("MapTasks = %d, want 2", got)
+	}
+	// Spill ratio scales the footprint.
+	j3 := WordCountJob{InputBytes: 100, SplitBytes: 50, SpillRatio: 0.5}
+	if got := j3.IntermediateBytesPerTask(); got != 25 {
+		t.Errorf("intermediate = %d, want 25", got)
+	}
+	if (WordCountJob{InputBytes: 10}).MapTasks() != 0 {
+		t.Error("zero split size should yield zero tasks")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	p := YCSBPhase{Name: "p", WriteRatio: 1, RequestBytes: 1 << 20, OpsPerSec: 10}
+	if p.String() == "" {
+		t.Error("YCSBPhase.String empty")
+	}
+	d := DFSIOPhase{Name: "d", WriterClients: 3, WritesPerSec: 10, DuEverySec: 30, BlockGoal: 20 * time.Second}
+	if d.String() == "" {
+		t.Error("DFSIOPhase.String empty")
+	}
+	j := WordCountJob{Name: "j", InputBytes: 640 << 20, SplitBytes: 64 << 20, Parallelism: 2}
+	if j.String() == "" {
+		t.Error("WordCountJob.String empty")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets(1<<20, 100)
+	if len(ps) != 5 {
+		t.Fatalf("presets = %d, want 5", len(ps))
+	}
+	wantMix := map[string]float64{
+		"ycsb-a": 0.5, "ycsb-b": 0.05, "ycsb-c": 0, "ycsb-d": 0.05, "ycsb-f": 0.5,
+	}
+	for _, p := range ps {
+		if p.RequestBytes != 1<<20 || p.OpsPerSec != 100 {
+			t.Errorf("%s: parameters not applied: %+v", p.Name, p)
+		}
+		if got, ok := wantMix[p.Name]; !ok || p.WriteRatio != got {
+			t.Errorf("%s: write ratio %v, want %v", p.Name, p.WriteRatio, got)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package smartconf
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"smartconf/internal/sysfile"
+)
+
+// Manager owns the file-driven SmartConf workflow (§4.1): it loads the
+// developer-facing system file (configuration → metric bindings, initial
+// values, profiling switch) and the user-facing goals file (numeric targets,
+// hard/super-hard flags), constructs controllers on demand, and coordinates
+// configurations that share a super-hard goal.
+type Manager struct {
+	mu    sync.Mutex
+	sys   *sysfile.Sys
+	goals sysfile.Goals
+	o     options
+
+	profileSource func(conf string) (*Profile, error)
+
+	confs     map[string]*Conf
+	indirects map[string]*IndirectConf
+}
+
+// ManagerOption customizes Manager construction.
+type ManagerOption func(*Manager)
+
+// WithProfileDir makes the Manager load profiling data from
+// dir/<ConfName>.SmartConf.sys, the paper's on-disk layout (§5.5).
+func WithProfileDir(dir string) ManagerOption {
+	return func(m *Manager) {
+		m.profileSource = func(conf string) (*Profile, error) {
+			f, err := os.Open(filepath.Join(dir, conf+".SmartConf.sys"))
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return ReadProfile(f)
+		}
+	}
+}
+
+// WithProfileSource supplies profiling data programmatically, e.g. from a
+// profiling campaign that just ran in the same process.
+func WithProfileSource(src func(conf string) (*Profile, error)) ManagerOption {
+	return func(m *Manager) { m.profileSource = src }
+}
+
+// WithConfOptions forwards Conf options (alerts, thresholds) to every
+// configuration the Manager constructs.
+func WithConfOptions(opts ...Option) ManagerOption {
+	return func(m *Manager) { m.o = applyOptions(opts) }
+}
+
+// NewManager parses the system file and goals file.
+func NewManager(sys, goals io.Reader, opts ...ManagerOption) (*Manager, error) {
+	s, err := sysfile.ParseSys(sys)
+	if err != nil {
+		return nil, fmt.Errorf("smartconf: parsing system file: %w", err)
+	}
+	g, err := sysfile.ParseGoals(goals)
+	if err != nil {
+		return nil, fmt.Errorf("smartconf: parsing goals file: %w", err)
+	}
+	m := &Manager{
+		sys:       s,
+		goals:     g,
+		o:         applyOptions(nil),
+		confs:     make(map[string]*Conf),
+		indirects: make(map[string]*IndirectConf),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m, nil
+}
+
+// NewManagerFromFiles is NewManager over two file paths, defaulting the
+// profile directory to the system file's directory.
+func NewManagerFromFiles(sysPath, goalsPath string, opts ...ManagerOption) (*Manager, error) {
+	sf, err := os.Open(sysPath)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	gf, err := os.Open(goalsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer gf.Close()
+	all := append([]ManagerOption{WithProfileDir(filepath.Dir(sysPath))}, opts...)
+	return NewManager(sf, gf, all...)
+}
+
+// Profiling reports whether the system file enables profiling mode.
+func (m *Manager) Profiling() bool { return m.sys.Profiling }
+
+// spec assembles the Spec for one configuration from the two files,
+// including the §5.4 interaction factor for super-hard goals (counted over
+// the system file's bindings, whether or not the siblings are open yet).
+func (m *Manager) spec(name string) (Spec, error) {
+	b, ok := m.sys.Binding(name)
+	if !ok {
+		return Spec{}, fmt.Errorf("smartconf: configuration %q not in system file", name)
+	}
+	g, ok := m.goals[b.Metric]
+	if !ok {
+		return Spec{}, fmt.Errorf("smartconf: no goal declared for metric %q (configuration %q)", b.Metric, name)
+	}
+	spec := Spec{
+		Name:       name,
+		Metric:     b.Metric,
+		Goal:       g.Target,
+		Hard:       g.Hard,
+		SuperHard:  g.SuperHard,
+		LowerBound: g.LowerBound,
+		Initial:    b.Initial,
+		Min:        b.Min,
+		Max:        b.Max,
+	}
+	if g.SuperHard {
+		spec.Interaction = len(m.sys.MetricConfs(b.Metric))
+	}
+	return spec, nil
+}
+
+func (m *Manager) loadProfile(name string) (*Profile, error) {
+	if m.profileSource == nil {
+		return nil, fmt.Errorf("smartconf: no profile source configured (use WithProfileDir or WithProfileSource)")
+	}
+	p, err := m.profileSource(name)
+	if err != nil {
+		return nil, fmt.Errorf("smartconf: loading profile for %q: %w", name, err)
+	}
+	return p, nil
+}
+
+// Conf opens (or returns the already-open) direct configuration name.
+// In profiling mode the returned Conf records samples instead of adjusting.
+func (m *Manager) Conf(name string) (*Conf, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.confs[name]; ok {
+		return c, nil
+	}
+	if _, ok := m.indirects[name]; ok {
+		return nil, fmt.Errorf("smartconf: configuration %q already open as indirect", name)
+	}
+	spec, err := m.spec(name)
+	if err != nil {
+		return nil, err
+	}
+	var c *Conf
+	if m.sys.Profiling {
+		c = newProfilingConf(spec, m.o)
+	} else {
+		profile, err := m.loadProfile(name)
+		if err != nil {
+			return nil, err
+		}
+		c, err = New(spec, profile, withResolved(m.o))
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.confs[name] = c
+	return c, nil
+}
+
+// IndirectConf opens (or returns the already-open) indirect configuration
+// name, with t mapping desired deputy values to threshold settings
+// (nil means the identity transducer).
+func (m *Manager) IndirectConf(name string, t Transducer) (*IndirectConf, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ic, ok := m.indirects[name]; ok {
+		return ic, nil
+	}
+	if _, ok := m.confs[name]; ok {
+		return nil, fmt.Errorf("smartconf: configuration %q already open as direct", name)
+	}
+	spec, err := m.spec(name)
+	if err != nil {
+		return nil, err
+	}
+	if t == nil {
+		t = Identity()
+	}
+	var ic *IndirectConf
+	if m.sys.Profiling {
+		ic = &IndirectConf{conf: newProfilingConf(spec, m.o), transducer: t}
+	} else {
+		profile, err := m.loadProfile(name)
+		if err != nil {
+			return nil, err
+		}
+		ic, err = NewIndirect(spec, profile, t, withResolved(m.o))
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.indirects[name] = ic
+	return ic, nil
+}
+
+// withResolved converts an already-resolved options value back into an
+// Option so constructors can reuse it.
+func withResolved(o options) Option {
+	return func(dst *options) { *dst = o }
+}
+
+// SetGoal updates the goal for a metric at run time and propagates it to
+// every open configuration bound to that metric.
+func (m *Manager) SetGoal(metric string, target float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.goals[metric]
+	if !ok {
+		return fmt.Errorf("smartconf: unknown metric %q", metric)
+	}
+	g.Target = target
+	m.goals[metric] = g
+	for _, name := range m.sys.MetricConfs(metric) {
+		if c, ok := m.confs[name]; ok {
+			c.SetGoal(target)
+		}
+		if ic, ok := m.indirects[name]; ok {
+			ic.SetGoal(target)
+		}
+	}
+	return nil
+}
+
+// ReloadGoals re-reads a goals file at run time and propagates every changed
+// target to the open configurations — the file-level counterpart of SetGoal,
+// for deployments where operators edit the goals file in place and signal
+// the process.
+func (m *Manager) ReloadGoals(r io.Reader) error {
+	fresh, err := sysfile.ParseGoals(r)
+	if err != nil {
+		return fmt.Errorf("smartconf: reloading goals: %w", err)
+	}
+	m.mu.Lock()
+	var changed []string
+	for metric, spec := range fresh {
+		old, ok := m.goals[metric]
+		if !ok {
+			// New metrics become available to later Conf() calls.
+			m.goals[metric] = spec
+			continue
+		}
+		if old.Target != spec.Target {
+			old.Target = spec.Target
+			m.goals[metric] = old
+			changed = append(changed, metric)
+		}
+	}
+	targets := make(map[string]float64, len(changed))
+	for _, metric := range changed {
+		targets[metric] = m.goals[metric].Target
+	}
+	m.mu.Unlock()
+	for metric, target := range targets {
+		if err := m.SetGoal(metric, target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushProfiles writes the profiling samples of every open configuration to
+// dir/<ConfName>.SmartConf.sys. It is a no-op outside profiling mode.
+func (m *Manager) FlushProfiles(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.sys.Profiling {
+		return nil
+	}
+	flush := func(name string, p *Profile) error {
+		if p == nil || p.Len() == 0 {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(dir, name+".SmartConf.sys"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return p.Write(f)
+	}
+	for name, c := range m.confs {
+		if err := flush(name, c.CollectedProfile()); err != nil {
+			return fmt.Errorf("smartconf: flushing profile for %q: %w", name, err)
+		}
+	}
+	for name, ic := range m.indirects {
+		if err := flush(name, ic.CollectedProfile()); err != nil {
+			return fmt.Errorf("smartconf: flushing profile for %q: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package smartconf
+
+import (
+	"fmt"
+	"io"
+
+	"smartconf/internal/core"
+	"smartconf/internal/sysfile"
+)
+
+// Profile holds the (setting, measurement) samples collected while profiling
+// one configuration. Controllers are synthesized from Profiles; a Profile
+// with too little signal (fewer than two distinct settings, or performance
+// that does not respond to the setting) yields an error at construction.
+//
+// The paper's default campaign — 4 settings spread over the valid range,
+// 10 measurements each — is available through Plan.
+type Profile struct {
+	col *core.Collector
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{col: core.NewCollector()}
+}
+
+// Add records measurements taken while the configuration (or, for indirect
+// configurations, the deputy variable) held the given value.
+func (p *Profile) Add(setting float64, measurements ...float64) *Profile {
+	for _, m := range measurements {
+		p.col.Record(setting, m)
+	}
+	return p
+}
+
+// Len reports the total number of recorded samples.
+func (p *Profile) Len() int { return p.col.Len() }
+
+// core returns the internal representation.
+func (p *Profile) coreProfile() core.Profile { return p.col.Profile() }
+
+// Write serializes the profile in the "<ConfName>.SmartConf.sys" format
+// (§5.5): one "sample <setting> <measurement>" line per data point.
+func (p *Profile) Write(w io.Writer) error {
+	return sysfile.EncodeProfile(w, p.coreProfile())
+}
+
+// ReadProfile parses a profile in the "<ConfName>.SmartConf.sys" format.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	cp, err := sysfile.ParseProfile(r)
+	if err != nil {
+		return nil, err
+	}
+	p := NewProfile()
+	for _, s := range cp.Settings {
+		p.Add(s.Setting, s.Samples...)
+	}
+	return p, nil
+}
+
+// Diagnose inspects the profile for the hazards §6.6 of the paper warns
+// about — above all a NON-MONOTONIC knob→metric relationship, which
+// SmartConf's linear model fundamentally does not fit. Warnings are
+// advisory: construction proceeds, but a wise developer checks them before
+// shipping a controller.
+func (p *Profile) Diagnose() []string {
+	ds := p.coreProfile().Diagnose()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// Plan is a profiling campaign: pin the configuration at each setting in
+// turn, taking SamplesPerStep measurements per setting.
+type Plan struct {
+	Settings       []float64
+	SamplesPerStep int
+}
+
+// DefaultPlan spreads n settings evenly over [min, max] with the paper's
+// default of 10 samples per setting.
+func DefaultPlan(min, max float64, n int) Plan {
+	cp := core.DefaultPlan(min, max, n)
+	return Plan{Settings: cp.Settings, SamplesPerStep: cp.SamplesPerStep}
+}
+
+// Run executes the campaign. measure must apply the setting to the live
+// system, let it settle, and return one performance observation.
+func (pl Plan) Run(measure func(setting float64) (float64, error)) (*Profile, error) {
+	cp, err := core.Plan{Settings: pl.Settings, SamplesPerStep: pl.SamplesPerStep}.Run(measure)
+	if err != nil {
+		return nil, fmt.Errorf("smartconf: profiling: %w", err)
+	}
+	p := NewProfile()
+	for _, s := range cp.Settings {
+		p.Add(s.Setting, s.Samples...)
+	}
+	return p, nil
+}

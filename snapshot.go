@@ -1,0 +1,65 @@
+package smartconf
+
+// Snapshot is a point-in-time diagnostic view of a configuration — what an
+// operator dashboard or a support bundle captures. All fields are plain
+// values; the struct marshals cleanly with encoding/json.
+type Snapshot struct {
+	Name        string  `json:"name"`
+	Metric      string  `json:"metric"`
+	Value       float64 `json:"value"`
+	Goal        float64 `json:"goal"`
+	VirtualGoal float64 `json:"virtual_goal"`
+	Hard        bool    `json:"hard"`
+	Pole        float64 `json:"pole"`
+	Lambda      float64 `json:"lambda"`
+	ModelAlpha  float64 `json:"model_alpha"`
+	Adaptive    bool    `json:"adaptive"`
+	Updates     int     `json:"updates"`
+	Saturated   int     `json:"saturated_for"`
+	Profiling   bool    `json:"profiling"`
+}
+
+// Snapshot captures the configuration's current diagnostic state.
+func (c *Conf) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Name:      c.name,
+		Value:     c.lastValue,
+		Profiling: c.profiling,
+	}
+	if c.ctrl != nil {
+		g := c.ctrl.Goal()
+		s.Metric = g.Metric
+		s.Goal = g.Target
+		s.Hard = g.Hard
+		s.VirtualGoal = c.ctrl.VirtualTarget()
+		s.Pole = c.ctrl.Pole()
+		s.Lambda = c.ctrl.Lambda()
+		s.ModelAlpha = c.ctrl.AdaptiveAlpha()
+		s.Adaptive = c.adaptiveEnabled
+		s.Updates = c.ctrl.Updates()
+		s.Saturated = c.ctrl.SaturatedFor()
+	}
+	return s
+}
+
+// Snapshot captures the underlying configuration's diagnostic state.
+func (ic *IndirectConf) Snapshot() Snapshot {
+	return ic.conf.Snapshot()
+}
+
+// Snapshots captures every open configuration under the Manager, sorted by
+// opening order within each kind (direct first, then indirect).
+func (m *Manager) Snapshots() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, 0, len(m.confs)+len(m.indirects))
+	for _, c := range m.confs {
+		out = append(out, c.Snapshot())
+	}
+	for _, ic := range m.indirects {
+		out = append(out, ic.Snapshot())
+	}
+	return out
+}

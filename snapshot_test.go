@@ -1,0 +1,57 @@
+package smartconf
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotCapturesState(t *testing.T) {
+	sc, err := New(Spec{
+		Name: "q", Metric: "mem", Goal: 500, Hard: true, Max: 1e6, Adaptive: true,
+	}, noisyProfile(2, 0, 0.1, 10, 50, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.SetPerf(100)
+	sc.Value()
+	snap := sc.Snapshot()
+	if snap.Name != "q" || snap.Metric != "mem" || snap.Goal != 500 || !snap.Hard {
+		t.Errorf("snapshot identity: %+v", snap)
+	}
+	if snap.VirtualGoal >= 500 || snap.VirtualGoal <= 0 {
+		t.Errorf("virtual goal = %v", snap.VirtualGoal)
+	}
+	if snap.Updates != 1 || !snap.Adaptive || snap.Profiling {
+		t.Errorf("snapshot state: %+v", snap)
+	}
+	// Must marshal cleanly for dashboards/support bundles.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"virtual_goal"`) {
+		t.Errorf("json: %s", data)
+	}
+}
+
+func TestManagerSnapshots(t *testing.T) {
+	m := newTestManager(t)
+	if _, err := m.IndirectConf("max.queue.size", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Conf("flush.lower.limit"); err != nil {
+		t.Fatal(err)
+	}
+	snaps := m.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	names := map[string]bool{}
+	for _, s := range snaps {
+		names[s.Name] = true
+	}
+	if !names["max.queue.size"] || !names["flush.lower.limit"] {
+		t.Errorf("snapshot names: %v", names)
+	}
+}

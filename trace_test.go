@@ -1,0 +1,76 @@
+package smartconf
+
+import (
+	"testing"
+)
+
+func TestTraceEventsOnDirectConf(t *testing.T) {
+	var events []TraceEvent
+	sc, err := New(Spec{Name: "c", Metric: "m", Goal: 100, Max: 1e6},
+		linearProfile(1, 0, 10, 20, 30),
+		WithTrace(func(e TraceEvent) { events = append(events, e) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.SetPerf(40)
+	sc.Value()
+	sc.Value() // no fresh measurement: no decision, no event
+	sc.SetPerf(60)
+	sc.Value()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Errorf("sequence numbers: %+v", events)
+	}
+	if events[0].Conf != "c" || events[0].Measured != 40 || events[0].Target != 100 {
+		t.Errorf("event[0] = %+v", events[0])
+	}
+	if events[0].Deputy != 0 {
+		t.Errorf("direct conf should report zero deputy: %+v", events[0])
+	}
+	if events[0].Value == 0 {
+		t.Error("event missing the chosen value")
+	}
+}
+
+func TestTraceEventsOnIndirectConf(t *testing.T) {
+	var events []TraceEvent
+	profile := NewProfile()
+	for _, s := range []float64{10, 20, 30} {
+		profile.Add(s, s, s)
+	}
+	ic, err := NewIndirect(Spec{Name: "q", Metric: "m", Goal: 100, Max: 1e6},
+		profile, nil,
+		WithTrace(func(e TraceEvent) { events = append(events, e) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic.SetPerf(40, 7)
+	ic.Value()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	if events[0].Deputy != 7 {
+		t.Errorf("deputy = %v, want 7", events[0].Deputy)
+	}
+	// Deadbeat with α=1: value = deputy + (100-40) = 67.
+	if events[0].Value != 67 {
+		t.Errorf("value = %v, want 67", events[0].Value)
+	}
+}
+
+func TestTraceReportsSaturation(t *testing.T) {
+	var last TraceEvent
+	sc, err := New(Spec{Name: "c", Metric: "m", Goal: 1e9, Max: 5},
+		linearProfile(1, 0, 1, 3, 5),
+		WithTrace(func(e TraceEvent) { last = e }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.SetPerf(1)
+	sc.Value()
+	if !last.Saturated || last.Value != 5 {
+		t.Errorf("saturated decision not traced: %+v", last)
+	}
+}
