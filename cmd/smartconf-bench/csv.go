@@ -34,6 +34,15 @@ func writeCSVs(dir string) error {
 		}
 	}
 
+	lk := experiments.BuildFigureLLMKV()
+	for _, bar := range lk.Bars {
+		if bar.Label == "SmartConf" {
+			if err := writeResultSeries(dir, "llmkv_smartconf", bar.Result); err != nil {
+				return err
+			}
+		}
+	}
+
 	f8 := experiments.BuildFigure8()
 	for name, s := range map[string]experiments.Series{
 		"fig8_memory":    f8.Mem,

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"smartconf/internal/experiments"
 	"smartconf/internal/study"
@@ -64,12 +65,16 @@ var artifacts = map[string]func() (string, error){
 	"ext-dist": func() (string, error) {
 		return experiments.RenderDistributed(experiments.RunDistributedHB3813(4)), nil
 	},
+	"llmkv": func() (string, error) {
+		return experiments.RenderFigureLLMKV(experiments.BuildFigureLLMKV()), nil
+	},
 }
 
 var order = []string{
 	"table2", "table3", "table4", "table5",
 	"table6", "fig5", "fig6", "fig7", "fig8", "table7",
 	"abl-pole", "abl-margin", "abl-interact", "abl-adaptive", "abl-profiling", "robustness", "abl-aimd", "ext-sla", "ext-dist",
+	"llmkv",
 }
 
 var titles = map[string]string{
@@ -92,6 +97,18 @@ var titles = map[string]string{
 	"abl-aimd":      "Baseline: SmartConf vs hand-tuned AIMD heuristic",
 	"ext-sla":       "Extension: p99-latency SLA goal",
 	"ext-dist":      "Extension: per-node controllers in a 4-node cluster",
+	"llmkv":         "Extension: LLM serving, KV-cache memory vs batched tokens",
+}
+
+// unknownArtifact builds the error text for an id that is not registered,
+// listing every valid id so the caller does not need a second -list run.
+func unknownArtifact(id string) string {
+	ids := make([]string, 0, len(artifacts))
+	for known := range artifacts {
+		ids = append(ids, known)
+	}
+	sort.Strings(ids)
+	return fmt.Sprintf("unknown artifact %q; valid ids:\n  %s\n", id, strings.Join(ids, "\n  "))
 }
 
 func main() {
@@ -123,7 +140,7 @@ func main() {
 	ids := order
 	if *only != "" {
 		if _, ok := artifacts[*only]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown artifact %q; try -list\n", *only)
+			fmt.Fprint(os.Stderr, unknownArtifact(*only))
 			os.Exit(2)
 		}
 		ids = []string{*only}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"smartconf/internal/experiments"
+)
+
+// TestRegistryConsistent pins the three artifact registries (builders,
+// render order, titles) to each other, so adding an artifact to one map
+// cannot silently drop it from -list or the default run.
+func TestRegistryConsistent(t *testing.T) {
+	if len(order) != len(artifacts) {
+		t.Errorf("order has %d ids, artifacts has %d", len(order), len(artifacts))
+	}
+	seen := map[string]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Errorf("artifact %q listed twice in order", id)
+		}
+		seen[id] = true
+		if _, ok := artifacts[id]; !ok {
+			t.Errorf("ordered artifact %q has no builder", id)
+		}
+		if titles[id] == "" {
+			t.Errorf("artifact %q has no title", id)
+		}
+	}
+	for id := range artifacts {
+		if !seen[id] {
+			t.Errorf("artifact %q is not in the render order", id)
+		}
+	}
+	for id := range titles {
+		if _, ok := artifacts[id]; !ok {
+			t.Errorf("title for unknown artifact %q", id)
+		}
+	}
+}
+
+func TestUnknownArtifactListsValidIDs(t *testing.T) {
+	msg := unknownArtifact("fig99")
+	if !strings.Contains(msg, `"fig99"`) {
+		t.Errorf("message does not echo the bad id: %q", msg)
+	}
+	for id := range artifacts {
+		if !strings.Contains(msg, id) {
+			t.Errorf("message does not list valid id %q", id)
+		}
+	}
+}
+
+func BenchmarkFigureLLMKV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.BuildFigureLLMKV()
+	}
+}

@@ -28,10 +28,11 @@ var profilers = map[string]struct {
 	"HB6728": {"ipc.server.response.queue.maxsize", experiments.ProfileHB6728},
 	"HD4995": {"content-summary.limit", experiments.ProfileHD4995},
 	"MR2820": {"local.dir.minspacestart", experiments.ProfileMR2820},
+	"LLMKV":  {"max.num.batched.tokens", experiments.ProfileLLMKV},
 }
 
 func main() {
-	issue := flag.String("issue", "", "benchmark issue id (CA6059, HB2149, HB3813, HB6728, HD4995, MR2820)")
+	issue := flag.String("issue", "", "benchmark issue id (CA6059, HB2149, HB3813, HB6728, HD4995, MR2820, LLMKV)")
 	out := flag.String("out", ".", "directory for the <conf>.SmartConf.sys file")
 	flag.Parse()
 

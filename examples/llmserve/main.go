@@ -1,0 +1,146 @@
+// llmserve: SmartConf on an LLM inference server. The knob is
+// max.num.batched.tokens — the continuous-batching scheduler's admission
+// bound — and the goal is hard: GPU memory must stay under budget, because a
+// KV-cache allocation that does not fit kills the process.
+//
+// The subtlety that defeats static tuning: the bound counts PROMPT tokens,
+// but every admitted chat prompt drags roughly twice its size in decode KV
+// behind it as the answer streams out. The controller never needs that
+// arithmetic spelled out — it was profiled on chat traffic, and the §5.3
+// indirect-configuration update re-anchors on the measured prompt-resident
+// bytes each round.
+//
+// The demo then exercises SetGoal: mid-run an administrator carves 3GiB out
+// of the GPU budget (say, a second tenant arrives). The controller walks the
+// bound down and re-converges on the new budget without a restart.
+//
+// Run with: go run ./examples/llmserve
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"smartconf"
+	"smartconf/internal/llmserve"
+	"smartconf/internal/memsim"
+	"smartconf/internal/sim"
+	"smartconf/internal/workload"
+)
+
+const (
+	gib         = int64(1) << 30
+	deviceBytes = 16 * gib
+	goalBytes   = 15 * gib // engineered margin below the device
+	shrunkGoal  = 12 * gib // after the administrator's mid-run cut
+	cutAt       = 3 * time.Minute
+	runFor      = 6 * time.Minute
+)
+
+// chat is the production mix: short questions, long answers. The profiling
+// mix keeps the same shape but enough pressure to saturate every pinned
+// setting — an unsaturated setting records demand, not the knob's effect.
+var (
+	chat      = workload.LLMPhase{RequestsPerSec: 60, PromptMean: 150, OutputMean: 300}
+	profiling = workload.LLMPhase{RequestsPerSec: 100, PromptMean: 150, OutputMean: 300}
+)
+
+// drive feeds Poisson arrivals from a seeded generator until the deadline.
+func drive(s *sim.Simulation, sv *llmserve.Server, seed int64, phase workload.LLMPhase, until time.Duration) {
+	gen := workload.NewLLMGen(seed, phase)
+	var next func()
+	next = func() {
+		if s.Now() >= until {
+			return
+		}
+		sv.Offer(gen.NextRequest())
+		s.After(gen.NextInterarrival(), next)
+	}
+	s.After(0, next)
+}
+
+// profiler measures GPU heap against a pinned token bound, one fresh
+// simulated serving run per setting (the paper's offline campaign, on a
+// machine without the production memory budget).
+type profiler struct {
+	setting float64
+	s       *sim.Simulation
+	heap    *memsim.Heap
+}
+
+func (p *profiler) measure(setting float64) (float64, error) {
+	if p.s == nil || setting != p.setting {
+		p.setting = setting
+		p.s = sim.New()
+		p.heap = memsim.NewHeap(64 * gib)
+		sv := llmserve.New(p.s, p.heap, llmserve.DefaultConfig())
+		sv.SetMaxBatchedTokens(int(setting))
+		drive(p.s, sv, 11, profiling, time.Hour)
+		p.s.RunUntil(30 * time.Second) // settle: the batch fills to its bound
+	}
+	p.s.RunUntil(p.s.Now() + 4*time.Second)
+	return float64(p.heap.Used()), nil
+}
+
+func main() {
+	cfg := llmserve.DefaultConfig()
+	kvb := float64(cfg.KVBytesPerToken)
+
+	fmt.Println("── profiling max.num.batched.tokens offline (chat traffic) ──")
+	var prof profiler
+	profile, err := smartconf.DefaultPlan(16384*kvb, 65536*kvb, 4).Run(func(setting float64) (float64, error) {
+		return prof.measure(setting / kvb) // campaign runs in deputy units: prompt-KV bytes
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// The deputy is prompt-resident KV bytes; the transducer turns the
+	// controller's desired bytes into the scheduler's token bound.
+	ic, err := smartconf.NewIndirect(smartconf.Spec{
+		Name:    "max.num.batched.tokens",
+		Metric:  "gpu_memory_consumption",
+		Goal:    float64(goalBytes),
+		Hard:    true,
+		Initial: 0, // start closed; the controller opens the batch to fit
+		Min:     0, Max: float64(deviceBytes),
+	}, profile, smartconf.Scale(1/kvb))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("synthesized: α=%.2f heap bytes per prompt-KV byte, pole=%.2f, virtual goal %.2fGiB\n\n",
+		ic.ModelAlpha(), ic.Pole(), ic.VirtualGoal()/float64(gib))
+
+	s := sim.New()
+	heap := memsim.NewHeap(deviceBytes)
+	sv := llmserve.New(s, heap, cfg)
+	heap.OnOOM(func() { fmt.Printf("%6s  *** OOM ***\n", s.Now()) })
+
+	// The control loop: slower than the plant — an admitted prompt commits
+	// decode KV that lands over the next several seconds.
+	s.Every(0, 15*time.Second, func() bool {
+		ic.SetPerf(float64(heap.Used()), float64(sv.PromptTokens())*kvb)
+		sv.SetMaxBatchedTokens(ic.Conf())
+		return s.Now() < runFor
+	})
+
+	// t=3m: an administrator hands 3GiB of the device to another tenant.
+	s.After(cutAt, func() {
+		fmt.Printf("%6s  ── admin: SetGoal %dGiB → %dGiB ──\n",
+			s.Now(), goalBytes/gib, shrunkGoal/gib)
+		ic.SetGoal(float64(shrunkGoal))
+	})
+
+	s.Every(30*time.Second, 30*time.Second, func() bool {
+		fmt.Printf("%6s  heap %5.2fGiB (goal %2dGiB)  bound %6d tok  goodput %7.0f tok/s\n",
+			s.Now(), float64(heap.Used())/float64(gib), int(ic.Goal())/int(gib),
+			sv.MaxBatchedTokens(), sv.Goodput())
+		return s.Now() < runFor
+	})
+
+	drive(s, sv, 9, chat, runFor)
+	s.RunUntil(runFor)
+
+	fmt.Printf("\ncompleted %d requests, %d evictions, crashed=%v\n",
+		sv.Completed(), sv.Evictions(), sv.Crashed())
+}

@@ -113,14 +113,16 @@ func scanMarkers(path string, counts map[string]*LoCRow) error {
 	return sc.Err()
 }
 
-// validIssueID accepts the paper's issue-id shape: two uppercase letters
-// followed by digits (CA6059, HB3813, ...).
+// validIssueID accepts issue-id shapes: at least two uppercase letters
+// followed by uppercase letters or digits (CA6059, HB3813, SLA, LLMKV, ...).
+// Anything else — like the "<ISSUE>" placeholder in doc comments — is not a
+// marker.
 func validIssueID(s string) bool {
 	if len(s) < 3 || s[0] < 'A' || s[0] > 'Z' || s[1] < 'A' || s[1] > 'Z' {
 		return false
 	}
 	for _, c := range s[2:] {
-		if c < '0' || c > '9' {
+		if (c < '0' || c > '9') && (c < 'A' || c > 'Z') {
 			return false
 		}
 	}

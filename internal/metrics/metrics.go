@@ -188,6 +188,29 @@ func (l *Latency) Worst() time.Duration { return l.worst }
 // Count returns the number of samples ever observed.
 func (l *Latency) Count() int64 { return l.count }
 
+// LatencySnapshot is a one-call summary of a Latency tracker. Count and
+// Worst are all-time; Mean, P50 and P95 are over the current sample window.
+type LatencySnapshot struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Worst time.Duration
+}
+
+// Snapshot returns count, mean, p50, p95 and worst in one call, so
+// experiment renderers and CSV writers do not recompute percentiles
+// piecemeal from the same window.
+func (l *Latency) Snapshot() LatencySnapshot {
+	return LatencySnapshot{
+		Count: l.count,
+		Mean:  l.Mean(),
+		P50:   l.Percentile(50),
+		P95:   l.Percentile(95),
+		Worst: l.worst,
+	}
+}
+
 // Reset clears the window and worst case (used at phase boundaries when a
 // constraint's horizon restarts).
 func (l *Latency) Reset() {

@@ -137,3 +137,34 @@ func TestLatencyReset(t *testing.T) {
 		t.Errorf("percentile of empty window = %v, want 0", got)
 	}
 }
+
+func TestLatencySnapshot(t *testing.T) {
+	l := NewLatency(100)
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := l.Snapshot()
+	if s.Count != 100 {
+		t.Errorf("count = %d, want 100", s.Count)
+	}
+	if s.Worst != 100*time.Millisecond {
+		t.Errorf("worst = %v, want 100ms", s.Worst)
+	}
+	if s.Mean < 50*time.Millisecond || s.Mean > 51*time.Millisecond {
+		t.Errorf("mean = %v, want ≈50.5ms", s.Mean)
+	}
+	if s.P50 < 49*time.Millisecond || s.P50 > 52*time.Millisecond {
+		t.Errorf("p50 = %v, want ≈50ms", s.P50)
+	}
+	if s.P95 < 94*time.Millisecond || s.P95 > 96*time.Millisecond {
+		t.Errorf("p95 = %v, want ≈95ms", s.P95)
+	}
+	// Snapshot agrees with the piecemeal accessors it replaces.
+	if s.P95 != l.Percentile(95) || s.Mean != l.Mean() || s.Worst != l.Worst() {
+		t.Error("snapshot disagrees with individual accessors")
+	}
+	e := NewLatency(4).Snapshot()
+	if e.Count != 0 || e.Mean != 0 || e.P50 != 0 || e.P95 != 0 || e.Worst != 0 {
+		t.Errorf("empty snapshot not zero: %+v", e)
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LLMRequest is one inference request: a prompt to prefill and a number of
+// output tokens to decode. Both counts are fixed at generation time — the
+// simulated model "decides" its answer length up front, which keeps runs
+// deterministic while preserving the statistical shape real serving systems
+// see (they cannot know the output length in advance, which is exactly why
+// admission accounting based on prompt tokens alone under-counts).
+type LLMRequest struct {
+	Prompt int
+	Output int
+}
+
+// Tokens returns the request's total token footprint once fully decoded.
+func (r LLMRequest) Tokens() int { return r.Prompt + r.Output }
+
+// LLMPhase parametrizes one phase of an LLM serving workload: Poisson
+// request arrivals with lognormal prompt/output token counts. The chat →
+// long-document shift of the LLM-KV scenario is expressed as two phases
+// with very different token mixes.
+type LLMPhase struct {
+	Name string
+	// Duration of the phase; the last phase may be 0 (runs to experiment end).
+	Duration time.Duration
+	// RequestsPerSec is the offered load (Poisson arrivals).
+	RequestsPerSec float64
+	// PromptMean / OutputMean are the mean token counts; individual draws are
+	// lognormal around the mean with the given sigma (0 = a default of 0.5,
+	// roughly the spread of production chat traces).
+	PromptMean  int
+	OutputMean  int
+	PromptSigma float64
+	OutputSigma float64
+	// MaxPrompt / MaxOutput clamp the draws (context-window limits);
+	// 0 means 8× the mean.
+	MaxPrompt int
+	MaxOutput int
+	// BurstEvery/BurstSize, when set, superimpose arrival bursts: every
+	// BurstEvery, BurstSize extra requests arrive back-to-back (spaced by
+	// BurstSpacing). Bursts are what spike the KV cache of an unbounded
+	// continuous batch, like the paper's YCSB bursts spike the RPC queue.
+	BurstEvery   time.Duration
+	BurstSize    int
+	BurstSpacing time.Duration
+}
+
+func (p LLMPhase) String() string {
+	return fmt.Sprintf("%s: %.1f req/s, prompt≈%d, output≈%d tok",
+		p.Name, p.RequestsPerSec, p.PromptMean, p.OutputMean)
+}
+
+// LLMGen generates inference requests for one phase configuration,
+// deterministically given a seed.
+type LLMGen struct {
+	rng   *rand.Rand
+	phase LLMPhase
+}
+
+// NewLLMGen returns a seeded generator starting in the given phase.
+func NewLLMGen(seed int64, phase LLMPhase) *LLMGen {
+	return &LLMGen{rng: rand.New(rand.NewSource(seed)), phase: phase}
+}
+
+// Phase returns the current phase parameters.
+func (g *LLMGen) Phase() LLMPhase { return g.phase }
+
+// SetPhase switches the generator to a new phase (workload shift).
+func (g *LLMGen) SetPhase(p LLMPhase) { g.phase = p }
+
+// NextInterarrival draws the exponential gap to the next request.
+func (g *LLMGen) NextInterarrival() time.Duration {
+	if g.phase.RequestsPerSec <= 0 {
+		return time.Hour // effectively idle
+	}
+	gap := g.rng.ExpFloat64() / g.phase.RequestsPerSec
+	const maxGap = 3600.0
+	if gap > maxGap {
+		gap = maxGap
+	}
+	return time.Duration(gap * float64(time.Second))
+}
+
+// NextRequest draws the next request's token counts.
+func (g *LLMGen) NextRequest() LLMRequest {
+	return LLMRequest{
+		Prompt: g.drawTokens(g.phase.PromptMean, g.phase.PromptSigma, g.phase.MaxPrompt),
+		Output: g.drawTokens(g.phase.OutputMean, g.phase.OutputSigma, g.phase.MaxOutput),
+	}
+}
+
+// drawTokens samples a lognormal token count with the given mean: the
+// location parameter is mean-corrected (µ = ln m − σ²/2) so the arithmetic
+// mean of the draws matches the configured mean regardless of sigma.
+func (g *LLMGen) drawTokens(mean int, sigma float64, max int) int {
+	if mean <= 0 {
+		return 1
+	}
+	if sigma == 0 {
+		sigma = 0.5
+	}
+	if max <= 0 {
+		max = 8 * mean
+	}
+	mu := math.Log(float64(mean)) - sigma*sigma/2
+	n := int(math.Round(math.Exp(mu + sigma*g.rng.NormFloat64())))
+	if n < 1 {
+		n = 1
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// LLMPhaseAt selects the active phase from a schedule at virtual time now,
+// with the same semantics as PhaseAt: each phase runs for its Duration, a
+// zero-duration phase is terminal, and the boolean reports whether the
+// schedule is exhausted.
+func LLMPhaseAt(phases []LLMPhase, now time.Duration) (LLMPhase, bool) {
+	var elapsed time.Duration
+	for _, p := range phases {
+		if p.Duration == 0 || now < elapsed+p.Duration {
+			return p, true
+		}
+		elapsed += p.Duration
+	}
+	if len(phases) == 0 {
+		return LLMPhase{}, false
+	}
+	return phases[len(phases)-1], false
+}

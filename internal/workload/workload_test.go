@@ -115,6 +115,148 @@ func TestPhaseAt(t *testing.T) {
 	}
 }
 
+// TestYCSBPhaseShiftDeterminism drives two identically seeded generators
+// through the same phase schedule and demands bit-identical event streams:
+// a phase boundary must not introduce any seed-independent state.
+func TestYCSBPhaseShiftDeterminism(t *testing.T) {
+	phases := []YCSBPhase{
+		{Name: "p1", Duration: 10 * time.Second, WriteRatio: 1, RequestBytes: 1 << 20, OpsPerSec: 100},
+		{Name: "p2", WriteRatio: 0.2, RequestBytes: 2 << 20, OpsPerSec: 40},
+	}
+	run := func() []Op {
+		g := NewYCSB(77, 1000, phases[0])
+		var now time.Duration
+		var ops []Op
+		for i := 0; i < 2000; i++ {
+			if p, _ := PhaseAt(phases, now); p.Name != g.Phase().Name {
+				g.SetPhase(p)
+			}
+			now += g.NextInterarrival()
+			ops = append(ops, g.NextOp())
+		}
+		return ops
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverges across identically seeded runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLLMGenDeterminismAcrossPhaseShift(t *testing.T) {
+	phases := []LLMPhase{
+		{Name: "chat", Duration: 5 * time.Second, RequestsPerSec: 50, PromptMean: 200, OutputMean: 100},
+		{Name: "summarize", RequestsPerSec: 10, PromptMean: 1800, OutputMean: 220},
+	}
+	type ev struct {
+		gap time.Duration
+		req LLMRequest
+	}
+	run := func() []ev {
+		g := NewLLMGen(99, phases[0])
+		var now time.Duration
+		var evs []ev
+		for i := 0; i < 2000; i++ {
+			if p, _ := LLMPhaseAt(phases, now); p.Name != g.Phase().Name {
+				g.SetPhase(p)
+			}
+			gap := g.NextInterarrival()
+			now += gap
+			evs = append(evs, ev{gap, g.NextRequest()})
+		}
+		return evs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverges across identically seeded runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLLMGenTokenDistribution(t *testing.T) {
+	g := NewLLMGen(7, LLMPhase{RequestsPerSec: 10, PromptMean: 400, OutputMean: 150})
+	var promptSum, outSum int64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		r := g.NextRequest()
+		if r.Prompt < 1 || r.Prompt > 8*400 {
+			t.Fatalf("prompt %d outside [1, 8*mean] clamp", r.Prompt)
+		}
+		if r.Output < 1 || r.Output > 8*150 {
+			t.Fatalf("output %d outside [1, 8*mean] clamp", r.Output)
+		}
+		promptSum += int64(r.Prompt)
+		outSum += int64(r.Output)
+	}
+	if mean := float64(promptSum) / n; mean < 360 || mean > 440 {
+		t.Errorf("prompt mean = %.1f, want ≈400 (lognormal mean correction)", mean)
+	}
+	if mean := float64(outSum) / n; mean < 135 || mean > 165 {
+		t.Errorf("output mean = %.1f, want ≈150", mean)
+	}
+	if got := (LLMRequest{Prompt: 3, Output: 4}).Tokens(); got != 7 {
+		t.Errorf("Tokens() = %d, want 7", got)
+	}
+}
+
+func TestLLMGenArrivalRate(t *testing.T) {
+	g := NewLLMGen(8, LLMPhase{RequestsPerSec: 25, PromptMean: 10, OutputMean: 10})
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += g.NextInterarrival()
+	}
+	if rate := float64(n) / total.Seconds(); rate < 22.5 || rate > 27.5 {
+		t.Errorf("arrival rate = %.2f, want ≈25", rate)
+	}
+	idle := NewLLMGen(9, LLMPhase{})
+	if got := idle.NextInterarrival(); got < time.Minute {
+		t.Errorf("idle interarrival = %v, want huge", got)
+	}
+}
+
+// TestLLMPhaseAtTerminalSemantics pins the duration-0 last-phase contract
+// for LLM schedules, mirroring TestPhaseAt for YCSB ones.
+func TestLLMPhaseAtTerminalSemantics(t *testing.T) {
+	phases := []LLMPhase{
+		{Name: "p1", Duration: 100 * time.Second},
+		{Name: "p2", Duration: 200 * time.Second},
+	}
+	if p, ok := LLMPhaseAt(phases, 50*time.Second); !ok || p.Name != "p1" {
+		t.Errorf("at 50s: %v %v", p.Name, ok)
+	}
+	if p, ok := LLMPhaseAt(phases, 100*time.Second); !ok || p.Name != "p2" {
+		t.Errorf("at boundary 100s: %v %v (boundary belongs to the next phase)", p.Name, ok)
+	}
+	if p, ok := LLMPhaseAt(phases, 500*time.Second); ok || p.Name != "p2" {
+		t.Errorf("past end: %v %v (want p2, exhausted)", p.Name, ok)
+	}
+	phases[1].Duration = 0 // terminal phase never exhausts
+	if p, ok := LLMPhaseAt(phases, 1e9*time.Second); !ok || p.Name != "p2" {
+		t.Errorf("terminal: %v %v", p.Name, ok)
+	}
+	if _, ok := LLMPhaseAt(nil, 0); ok {
+		t.Error("empty schedule should report not-ok")
+	}
+}
+
+// TestPhaseAtBoundaryInstant pins which phase owns the exact boundary
+// instant for YCSB schedules: the boundary belongs to the NEXT phase.
+func TestPhaseAtBoundaryInstant(t *testing.T) {
+	phases := []YCSBPhase{
+		{Name: "p1", Duration: 100 * time.Second},
+		{Name: "p2"},
+	}
+	if p, ok := PhaseAt(phases, 100*time.Second); !ok || p.Name != "p2" {
+		t.Errorf("at boundary: %v %v, want p2", p.Name, ok)
+	}
+	if p, ok := PhaseAt(phases, 100*time.Second-time.Nanosecond); !ok || p.Name != "p1" {
+		t.Errorf("just before boundary: %v %v, want p1", p.Name, ok)
+	}
+}
+
 func TestWordCountJob(t *testing.T) {
 	j := WordCountJob{
 		Name:       "phase-1",

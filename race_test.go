@@ -1,0 +1,69 @@
+package smartconf
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentControlLoopIsRaceFree hammers one Manager from the three
+// places a deployed controller is touched concurrently — sensor threads
+// feeding measurements, actuator threads reading adjusted settings, and an
+// administrator retargeting goals — with a trace hook installed, so `go
+// test -race` can prove the locking story. The assertions are deliberately
+// loose; the interleaving, not the arithmetic, is under test.
+func TestConcurrentControlLoopIsRaceFree(t *testing.T) {
+	var traced atomic.Int64
+	m := newTestManager(t, WithConfOptions(WithTrace(func(TraceEvent) {
+		traced.Add(1)
+	})))
+	c, err := m.Conf("max.queue.size")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := m.IndirectConf("response.queue.maxsize", Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 500
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	spawn := func(f func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				f(i)
+			}
+		}()
+	}
+
+	for g := 0; g < 3; g++ {
+		spawn(func(i int) { c.SetPerf(400 + float64(i%100)) })
+		spawn(func(i int) { ic.SetPerf(400+float64(i%100), float64(i%200)) })
+		spawn(func(i int) { _ = c.Conf(); _ = c.Value() })
+		spawn(func(i int) { _ = ic.Conf(); _ = ic.Value() })
+	}
+	spawn(func(i int) {
+		if err := m.SetGoal("queue_memory", 480+float64(i%30)); err != nil {
+			t.Error(err)
+		}
+	})
+	spawn(func(i int) {
+		for _, s := range m.Snapshots() {
+			_ = s.Name
+		}
+	})
+
+	close(start)
+	wg.Wait()
+
+	if traced.Load() == 0 {
+		t.Error("trace hook never fired under concurrent updates")
+	}
+	if v := c.Value(); v < 0 || v > 5000 {
+		t.Errorf("setting %v escaped [min, max] under concurrency", v)
+	}
+}
