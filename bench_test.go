@@ -12,10 +12,12 @@
 package smartconf_test
 
 import (
+	"runtime"
 	"testing"
 
 	"smartconf"
 	"smartconf/internal/experiments"
+	"smartconf/internal/experiments/engine"
 	"smartconf/internal/study"
 )
 
@@ -68,14 +70,32 @@ func BenchmarkTable6Suite(b *testing.B) {
 }
 
 // BenchmarkFigure5Tradeoffs regenerates the full six-issue comparison
-// (every static sweep plus SmartConf, with profiling).
+// (every static sweep plus SmartConf, with profiling) at the default worker
+// count — all CPUs. Compare against BenchmarkFigure5TradeoffsSequential for
+// the experiment engine's fan-out speedup.
 func BenchmarkFigure5Tradeoffs(b *testing.B) {
+	benchmarkFigure5AtWorkers(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkFigure5TradeoffsSequential is the same regeneration pinned to one
+// worker — the pre-engine sequential baseline.
+func BenchmarkFigure5TradeoffsSequential(b *testing.B) {
+	benchmarkFigure5AtWorkers(b, 1)
+}
+
+func benchmarkFigure5AtWorkers(b *testing.B, workers int) {
+	prev := engine.SetWorkers(workers)
+	defer engine.SetWorkers(prev)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		rows := experiments.BuildFigure5()
 		if len(rows) != 6 {
 			b.Fatal("missing scenarios")
 		}
 	}
+	b.StopTimer()
+	experiments.ResetRunCache()
 }
 
 // Per-issue Figure 5 rows, for quicker single-issue regeneration.
@@ -85,6 +105,7 @@ func benchFigure5Row(b *testing.B, id string) {
 		b.Fatalf("unknown scenario %s", id)
 	}
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		row := experiments.BuildFigure5Row(sc)
 		if !row.Bars[0].ConstraintMet {
 			b.Fatalf("%s: SmartConf violated its constraint", id)
@@ -103,6 +124,7 @@ func BenchmarkFigure5_MR2820(b *testing.B) { benchFigure5Row(b, "MR2820") }
 
 func BenchmarkFigure6CaseStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		f := experiments.BuildFigure6()
 		if !f.SmartConf.ConstraintMet {
 			b.Fatal("SmartConf violated the constraint")
@@ -112,6 +134,7 @@ func BenchmarkFigure6CaseStudy(b *testing.B) {
 
 func BenchmarkFigure7Ablation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		f := experiments.BuildFigure7()
 		if !f.SmartConf.ConstraintMet || f.SinglePole.ConstraintMet || f.NoVirtualGoal.ConstraintMet {
 			b.Fatal("ablation outcome drifted from the paper")
@@ -121,6 +144,7 @@ func BenchmarkFigure7Ablation(b *testing.B) {
 
 func BenchmarkFigure8Interacting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		f := experiments.BuildFigure8()
 		if f.OOM {
 			b.Fatal("interacting controllers OOMed")
@@ -133,7 +157,7 @@ func BenchmarkFigure8Interacting(b *testing.B) {
 func BenchmarkTable7LoC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.CountIntegrationLoC()
-		if err != nil || len(rows) != 6 {
+		if err != nil || len(rows) < 6 { // six paper issues + any extensions
 			b.Fatalf("rows=%d err=%v", len(rows), err)
 		}
 	}
@@ -207,6 +231,7 @@ func BenchmarkSynthesis(b *testing.B) {
 
 func BenchmarkAblationPoles(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		rows := experiments.AblationPoles()
 		for _, r := range rows {
 			if !r.ConstraintMet {
@@ -218,6 +243,7 @@ func BenchmarkAblationPoles(b *testing.B) {
 
 func BenchmarkAblationVirtualGoalMargin(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		rows := experiments.AblationVirtualGoalMargin()
 		if rows[0].ConstraintMet { // λ = 0 must fail
 			b.Fatal("no-margin run unexpectedly satisfied the constraint")
@@ -227,6 +253,7 @@ func BenchmarkAblationVirtualGoalMargin(b *testing.B) {
 
 func BenchmarkAblationInteraction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		a := experiments.AblationInteractionFactor()
 		if a.WithFactor.OOM {
 			b.Fatal("coordinated controllers OOMed")
@@ -236,6 +263,7 @@ func BenchmarkAblationInteraction(b *testing.B) {
 
 func BenchmarkAblationAdaptive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		a := experiments.AblationAdaptiveModel()
 		if !a.Adaptive.ConstraintMet {
 			b.Fatal("adaptive run violated the constraint")
@@ -245,6 +273,7 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 
 func BenchmarkAblationProfilingDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		rows := experiments.AblationProfilingDepth()
 		if !rows[0].ConstraintMet {
 			b.Fatal("full-profile run violated the constraint")
@@ -256,6 +285,7 @@ func BenchmarkAblationProfilingDepth(b *testing.B) {
 // controller against 54 unseen workloads.
 func BenchmarkRobustnessSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		for _, c := range experiments.RunRobustnessSweep() {
 			if !c.ConstraintMet {
 				b.Fatalf("constraint violated: %+v", c)
@@ -268,6 +298,7 @@ func BenchmarkRobustnessSweep(b *testing.B) {
 // heuristic baseline.
 func BenchmarkBackendAIMD(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		c := experiments.AblationBackendAIMD()
 		if !c.SmartConf.ConstraintMet {
 			b.Fatal("SmartConf violated its constraint")
@@ -279,6 +310,7 @@ func BenchmarkBackendAIMD(b *testing.B) {
 
 func BenchmarkExtensionSLA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		r := experiments.RunSLAScenario(experiments.SmartConf())
 		if !r.ConstraintMet {
 			b.Fatalf("SLA missed: p99 = %.2fs", r.P99)
@@ -288,6 +320,7 @@ func BenchmarkExtensionSLA(b *testing.B) {
 
 func BenchmarkExtensionDistributed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		r := experiments.RunDistributedHB3813(4)
 		if !r.ConstraintMet {
 			b.Fatalf("violations: %v", r.Violations)

@@ -6,6 +6,11 @@
 //	smartconf-bench              # everything
 //	smartconf-bench -only fig5   # one artifact: table2..table7, fig5..fig8
 //	smartconf-bench -list        # list artifact ids
+//	smartconf-bench -parallel 1  # sequential runs (output is identical)
+//
+// Independent simulation runs fan out across -parallel workers (default: all
+// CPUs); results reassemble in a fixed order and repeated runs come from a
+// process-wide cache, so the output is byte-identical at any worker count.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"strings"
 
 	"smartconf/internal/experiments"
+	"smartconf/internal/experiments/engine"
 	"smartconf/internal/study"
 )
 
@@ -111,11 +117,28 @@ func unknownArtifact(id string) string {
 	return fmt.Sprintf("unknown artifact %q; valid ids:\n  %s\n", id, strings.Join(ids, "\n  "))
 }
 
+// renderArtifacts renders the given artifacts in order into one string —
+// the unit the byte-identity test compares across worker counts.
+func renderArtifacts(ids []string) (string, error) {
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "════════ %s ════════\n\n", titles[id])
+		out, err := artifacts[id]()
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintln(&b, out)
+	}
+	return b.String(), nil
+}
+
 func main() {
 	only := flag.String("only", "", "render a single artifact (see -list)")
 	list := flag.Bool("list", false, "list artifact ids and exit")
 	csvDir := flag.String("csv", "", "also write the figure time series as CSV files into this directory")
+	parallel := flag.Int("parallel", engine.Workers(), "number of concurrent simulation workers")
 	flag.Parse()
+	engine.SetWorkers(*parallel)
 
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir); err != nil {
@@ -145,13 +168,10 @@ func main() {
 		}
 		ids = []string{*only}
 	}
-	for _, id := range ids {
-		fmt.Printf("════════ %s ════════\n\n", titles[id])
-		out, err := artifacts[id]()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Println(out)
+	out, err := renderArtifacts(ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	fmt.Print(out)
 }

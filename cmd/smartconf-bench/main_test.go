@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"smartconf/internal/experiments"
+	"smartconf/internal/experiments/engine"
 )
 
 // TestRegistryConsistent pins the three artifact registries (builders,
@@ -51,8 +52,60 @@ func TestUnknownArtifactListsValidIDs(t *testing.T) {
 	}
 }
 
+// TestOutputByteIdenticalAcrossWorkerCounts is the engine's headline
+// guarantee: every artifact the bench renders — figures, ablations, sweeps,
+// extensions — is byte-identical whether the simulations ran sequentially or
+// fanned out across 8 workers. Tables 2-5 are static study data and carry no
+// simulations, so the comparison covers the simulation-backed artifacts.
+func TestOutputByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	ids := make([]string, 0, len(order))
+	for _, id := range order {
+		switch id {
+		case "table2", "table3", "table4", "table5":
+			continue
+		}
+		ids = append(ids, id)
+	}
+
+	prev := engine.SetWorkers(1)
+	defer engine.SetWorkers(prev)
+	experiments.ResetRunCache()
+	seq, err := renderArtifacts(ids)
+	if err != nil {
+		t.Fatalf("sequential render: %v", err)
+	}
+
+	engine.SetWorkers(8)
+	experiments.ResetRunCache()
+	par, err := renderArtifacts(ids)
+	experiments.ResetRunCache()
+	if err != nil {
+		t.Fatalf("parallel render: %v", err)
+	}
+
+	if seq != par {
+		i := 0
+		for i < len(seq) && i < len(par) && seq[i] == par[i] {
+			i++
+		}
+		lo, hi := i-120, i+120
+		if lo < 0 {
+			lo = 0
+		}
+		window := func(s string) string {
+			if hi > len(s) {
+				return s[lo:]
+			}
+			return s[lo:hi]
+		}
+		t.Errorf("output differs between -parallel 1 and -parallel 8 at byte %d:\n--- workers=1 ---\n…%s…\n--- workers=8 ---\n…%s…",
+			i, window(seq), window(par))
+	}
+}
+
 func BenchmarkFigureLLMKV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
 		experiments.BuildFigureLLMKV()
 	}
 }

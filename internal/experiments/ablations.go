@@ -7,6 +7,7 @@ import (
 
 	"smartconf"
 	"smartconf/internal/core"
+	"smartconf/internal/experiments/engine"
 )
 
 // Ablations beyond the paper's Figure 7, quantifying the design choices
@@ -37,15 +38,8 @@ func AblationPoles() []PoleAblationRow {
 	lambda := profile.Lambda()
 	auto := core.PoleFromDelta(profile.Delta())
 	poles := []float64{0, 0.25, 0.5, auto, 0.75, 0.9, 0.99}
-	rows := make([]PoleAblationRow, 0, len(poles))
-	for _, pole := range poles {
-		ctrl, err := core.NewController(model, pole, lambda,
-			core.Goal{Metric: "memory", Target: float64(rpcMemoryGoal), Hard: true},
-			core.Options{Min: 0, Max: 1e9})
-		if err != nil {
-			panic(err)
-		}
-		r := runHB3813Core(ctrl)
+	return engine.MapSlice(poles, func(pole float64) PoleAblationRow {
+		r := runAblationCore(model, pole, lambda)
 		knob, _ := r.SeriesByName("max.queue.size")
 		working := knob.At(300 * time.Second) // settled phase-1 level
 		var conv time.Duration
@@ -55,15 +49,30 @@ func AblationPoles() []PoleAblationRow {
 				break
 			}
 		}
-		rows = append(rows, PoleAblationRow{
+		return PoleAblationRow{
 			Pole:          pole,
 			Auto:          pole == auto,
 			ConstraintMet: r.ConstraintMet,
 			Throughput:    r.Tradeoff,
 			Convergence:   conv,
+		}
+	})
+}
+
+// runAblationCore memoizes the core-controller evaluations the pole and
+// margin sweeps share: both include the automatically derived (pole, λ)
+// point, which therefore simulates once.
+func runAblationCore(model core.Model, pole, lambda float64) Result {
+	return memoResult("HB3813", fmt.Sprintf("pole=%g lambda=%g", pole, lambda),
+		"ablation-core", 0, func() Result {
+			ctrl, err := core.NewController(model, pole, lambda,
+				core.Goal{Metric: "memory", Target: float64(rpcMemoryGoal), Hard: true},
+				core.Options{Min: 0, Max: 1e9})
+			if err != nil {
+				panic(err)
+			}
+			return runHB3813Core(ctrl)
 		})
-	}
-	return rows
 }
 
 // RenderAblationPoles formats the sweep.
@@ -107,24 +116,24 @@ func AblationVirtualGoalMargin() []MarginAblationRow {
 	autoLambda := profile.Lambda()
 	pole := core.PoleFromDelta(profile.Delta())
 	lambdas := []float64{0, 0.02, autoLambda, 0.15, 0.3}
-	rows := make([]MarginAblationRow, 0, len(lambdas))
-	for _, lambda := range lambdas {
+	return engine.MapSlice(lambdas, func(lambda float64) MarginAblationRow {
+		// The virtual target is fixed at construction ((1-λ)·goal), so a
+		// fresh controller reports it even when the run itself is a cache hit.
 		ctrl, err := core.NewController(model, pole, lambda,
 			core.Goal{Metric: "memory", Target: float64(rpcMemoryGoal), Hard: true},
 			core.Options{Min: 0, Max: 1e9})
 		if err != nil {
 			panic(err)
 		}
-		r := runHB3813Core(ctrl)
-		rows = append(rows, MarginAblationRow{
+		r := runAblationCore(model, pole, lambda)
+		return MarginAblationRow{
 			Lambda:        lambda,
 			Auto:          lambda == autoLambda,
 			VirtualGoalMB: ctrl.VirtualTarget() / float64(mb),
 			ConstraintMet: r.ConstraintMet,
 			Throughput:    r.Tradeoff,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderAblationMargins formats the sweep.
@@ -176,9 +185,10 @@ func knobChurn(s Series, unit float64) float64 {
 // AblationInteractionFactor runs Figure 8 twice: N derived by the Manager
 // (2) and N forced to 1.
 func AblationInteractionFactor() InteractionAblation {
+	figs := engine.MapSlice([]int{2, 1}, buildFigure8)
 	a := InteractionAblation{
-		WithFactor:    buildFigure8(2),
-		WithoutFactor: buildFigure8(1),
+		WithFactor:    figs[0],
+		WithoutFactor: figs[1],
 	}
 	a.ChurnWith = knobChurn(a.WithFactor.ReqKnob, 1) + knobChurn(a.WithFactor.RespKnob, float64(mb))
 	a.ChurnWithout = knobChurn(a.WithoutFactor.ReqKnob, 1) + knobChurn(a.WithoutFactor.RespKnob, float64(mb))
@@ -215,34 +225,49 @@ type AdaptiveAblation struct {
 	FinalAlphaAdaptive float64
 }
 
-// AblationAdaptiveModel runs the comparison.
+// adaptiveRun pairs a run with the slope its controller ended on — the
+// memoized unit of the adaptive-model ablation (the final α is a product of
+// the run, so it caches alongside the Result).
+type adaptiveRun struct {
+	Result Result
+	Alpha  float64
+}
+
+// AblationAdaptiveModel runs the comparison. The two arms are independent
+// and fan out across the worker pool.
 func AblationAdaptiveModel() AdaptiveAblation {
 	profile := ProfileHB3813()
-	run := func(adaptive bool) (Result, float64) {
-		ic, err := smartconf.NewIndirect(smartconf.Spec{
-			Name:   "ipc.server.max.queue.size",
-			Metric: "memory_consumption",
-			Goal:   float64(rpcMemoryGoal),
-			Hard:   true,
-			Min:    0, Max: 5000,
-			Adaptive: adaptive,
-		}, publicProfile(profile), nil)
-		if err != nil {
-			panic(err)
+	runs := engine.MapSlice([]bool{false, true}, func(adaptive bool) adaptiveRun {
+		label := "fixed"
+		if adaptive {
+			label = "adaptive"
 		}
-		r := runHB3813Custom(func(heapUsed float64, queueLen int) int {
-			ic.SetPerf(heapUsed, float64(queueLen))
-			return ic.Conf()
+		return engine.Memo(engine.Key{
+			Scenario: "HB3813", Policy: label, Schedule: "ablation-adaptive",
+		}, func() adaptiveRun {
+			ic, err := smartconf.NewIndirect(smartconf.Spec{
+				Name:   "ipc.server.max.queue.size",
+				Metric: "memory_consumption",
+				Goal:   float64(rpcMemoryGoal),
+				Hard:   true,
+				Min:    0, Max: 5000,
+				Adaptive: adaptive,
+			}, publicProfile(profile), nil)
+			if err != nil {
+				panic(err)
+			}
+			r := runHB3813Custom(func(heapUsed float64, queueLen int) int {
+				ic.SetPerf(heapUsed, float64(queueLen))
+				return ic.Conf()
+			})
+			return adaptiveRun{Result: r, Alpha: ic.ModelAlpha()}
 		})
-		return r, ic.ModelAlpha()
-	}
-	fixed, alphaF := run(false)
-	adaptiveRes, alphaA := run(true)
+	})
 	return AdaptiveAblation{
-		Fixed:              fixed,
-		Adaptive:           adaptiveRes,
-		FinalAlphaFixed:    alphaF,
-		FinalAlphaAdaptive: alphaA,
+		Fixed:              runs[0].Result,
+		Adaptive:           runs[1].Result,
+		FinalAlphaFixed:    runs[0].Alpha,
+		FinalAlphaAdaptive: runs[1].Alpha,
 	}
 }
 
@@ -283,31 +308,34 @@ func AblationProfilingDepth() []ProfilingDepthRow {
 	plans := []struct{ settings, samples int }{
 		{4, 10}, {4, 3}, {2, 3}, {1, 10},
 	}
-	rows := make([]ProfilingDepthRow, 0, len(plans))
-	for _, plan := range plans {
-		sub := subsampleProfile(full, plan.settings, plan.samples)
-		row := ProfilingDepthRow{Settings: plan.settings, Samples: plan.samples}
-		ic, err := smartconf.NewIndirect(smartconf.Spec{
-			Name:   "ipc.server.max.queue.size",
-			Metric: "memory_consumption",
-			Goal:   float64(rpcMemoryGoal),
-			Hard:   true,
-			Min:    0, Max: 5000,
-		}, publicProfile(sub), nil)
-		if err != nil {
-			row.SynthesisErr = err.Error()
-			rows = append(rows, row)
-			continue
-		}
-		r := runHB3813Custom(func(heapUsed float64, queueLen int) int {
-			ic.SetPerf(heapUsed, float64(queueLen))
-			return ic.Conf()
+	return engine.MapSlice(plans, func(plan struct{ settings, samples int }) ProfilingDepthRow {
+		return engine.Memo(engine.Key{
+			Scenario: "HB3813",
+			Policy:   fmt.Sprintf("settings=%d samples=%d", plan.settings, plan.samples),
+			Schedule: "ablation-depth",
+		}, func() ProfilingDepthRow {
+			sub := subsampleProfile(full, plan.settings, plan.samples)
+			row := ProfilingDepthRow{Settings: plan.settings, Samples: plan.samples}
+			ic, err := smartconf.NewIndirect(smartconf.Spec{
+				Name:   "ipc.server.max.queue.size",
+				Metric: "memory_consumption",
+				Goal:   float64(rpcMemoryGoal),
+				Hard:   true,
+				Min:    0, Max: 5000,
+			}, publicProfile(sub), nil)
+			if err != nil {
+				row.SynthesisErr = err.Error()
+				return row
+			}
+			r := runHB3813Custom(func(heapUsed float64, queueLen int) int {
+				ic.SetPerf(heapUsed, float64(queueLen))
+				return ic.Conf()
+			})
+			row.ConstraintMet = r.ConstraintMet
+			row.Throughput = r.Tradeoff
+			return row
 		})
-		row.ConstraintMet = r.ConstraintMet
-		row.Throughput = r.Tradeoff
-		rows = append(rows, row)
-	}
-	return rows
+	})
 }
 
 // subsampleProfile keeps the first `settings` settings and the first

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"smartconf/internal/experiments/engine"
 )
 
 // AIMD is the classic systems heuristic (additive increase, multiplicative
@@ -53,24 +55,33 @@ type BackendComparison struct {
 	AIMDAggressive Result
 }
 
-// AblationBackendAIMD runs the comparison on the HB3813 scenario.
+// AblationBackendAIMD runs the comparison on the HB3813 scenario. The
+// SmartConf arm reuses the Figure 5 run through the cache; the AIMD arms are
+// memoized under their parameters and all three fan out together.
 func AblationBackendAIMD() BackendComparison {
-	runAIMD := func(inc, dec float64) Result {
-		a := &AIMD{
-			Increase: inc,
-			Decrease: dec,
-			Goal:     float64(rpcMemoryGoal),
-			Min:      0, Max: 5000,
+	type arm struct{ inc, dec float64 }
+	arms := []arm{{0, 0}, {0.05, 0.5}, {1.0, 0.9}} // {0,0} marks the SmartConf arm
+	runs := engine.MapSlice(arms, func(a arm) Result {
+		if a.inc == 0 {
+			return runCached(HB3813Scenario(), SmartConf())
 		}
-		r := runHB3813Custom(func(heapUsed float64, _ int) int {
-			return int(a.Update(heapUsed))
-		})
-		return r
-	}
+		return memoResult("HB3813", fmt.Sprintf("aimd inc=%g dec=%g", a.inc, a.dec),
+			"ablation-aimd", 0, func() Result {
+				ctl := &AIMD{
+					Increase: a.inc,
+					Decrease: a.dec,
+					Goal:     float64(rpcMemoryGoal),
+					Min:      0, Max: 5000,
+				}
+				return runHB3813Custom(func(heapUsed float64, _ int) int {
+					return int(ctl.Update(heapUsed))
+				})
+			})
+	})
 	return BackendComparison{
-		SmartConf:      RunHB3813(SmartConf()),
-		AIMDCautious:   runAIMD(0.05, 0.5),
-		AIMDAggressive: runAIMD(1.0, 0.9),
+		SmartConf:      runs[0],
+		AIMDCautious:   runs[1],
+		AIMDAggressive: runs[2],
 	}
 }
 

@@ -9,7 +9,6 @@ import (
 	"smartconf/internal/core"
 	"smartconf/internal/kvstore"
 	"smartconf/internal/memsim"
-	"smartconf/internal/sim"
 	"smartconf/internal/workload"
 )
 
@@ -53,40 +52,41 @@ func ca6059Phases() []workload.YCSBPhase {
 // (YCSB-A: 0.5W, 1 MB), pinning the memtable threshold at four settings and
 // sampling heap consumption at write time.
 func ProfileCA6059() core.Profile {
-	col := core.NewCollector()
-	for _, setting := range []float64{32 * float64(mb), 96 * float64(mb), 160 * float64(mb), 224 * float64(mb)} {
-		s := sim.New()
-		rng := rand.New(rand.NewSource(6059))
-		heap := memsim.NewHeap(ca6059HeapCap)
-		st := kvstore.NewMemtableStore(s, heap, ca6059Config(), int64(setting))
-		heapNoise(s, heap, rng, rpcNoiseMax, hb3813ProfileStep)
+	return memoProfile("CA6059", func() core.Profile {
+		settings := []float64{32 * float64(mb), 96 * float64(mb), 160 * float64(mb), 224 * float64(mb)}
+		return profileSweep(settings, func(setting float64, record func(setting, measurement float64)) {
+			s := newScenarioSim()
+			rng := rand.New(rand.NewSource(6059))
+			heap := memsim.NewHeap(ca6059HeapCap)
+			st := kvstore.NewMemtableStore(s, heap, ca6059Config(), int64(setting))
+			heapNoise(s, heap, rng, rpcNoiseMax, hb3813ProfileStep)
 
-		writes, taken := 0, 0
-		st.BeforeWrite = func() {
-			writes++
-			if writes%200 == 0 && taken < 10 {
-				col.Record(setting, float64(heap.Used()))
-				taken++
+			writes, taken := 0, 0
+			st.BeforeWrite = func() {
+				writes++
+				if writes%200 == 0 && taken < 10 {
+					record(setting, float64(heap.Used()))
+					taken++
+				}
 			}
-		}
-		gen := workload.NewYCSB(6059, 1000, workload.YCSBPhase{WriteRatio: 0.5, RequestBytes: 1 * mb})
-		s.Every(0, ca6059WriteEvery, func() bool {
-			op := gen.NextOp()
-			if op.Write {
-				st.Write(op.Bytes)
-			} else {
-				st.Read(op.Bytes)
-			}
-			return s.Now() < hb3813ProfileStep && !st.Crashed()
+			gen := workload.NewYCSB(6059, 1000, workload.YCSBPhase{WriteRatio: 0.5, RequestBytes: 1 * mb})
+			s.Every(0, ca6059WriteEvery, func() bool {
+				op := gen.NextOp()
+				if op.Write {
+					st.Write(op.Bytes)
+				} else {
+					st.Read(op.Bytes)
+				}
+				return s.Now() < hb3813ProfileStep && !st.Crashed()
+			})
+			s.RunUntil(hb3813ProfileStep)
 		})
-		s.RunUntil(hb3813ProfileStep)
-	}
-	return col.Profile()
+	})
 }
 
 // RunCA6059 executes the two-phase evaluation under the given policy.
 func RunCA6059(p Policy) Result {
-	s := sim.New()
+	s := newScenarioSim()
 	rng := rand.New(rand.NewSource(6059))
 	heap := memsim.NewHeap(ca6059HeapCap)
 	st := kvstore.NewMemtableStore(s, heap, ca6059Config(), 0)

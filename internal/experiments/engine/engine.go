@@ -1,0 +1,120 @@
+// Package engine is the parallel experiment run engine behind the harness.
+//
+// Every artifact the harness produces — Figure 5's static-grid sweeps, the
+// MR2820 co-tenant seed race, the ablation grids, the robustness sweep, the
+// LLM-KV extension — is a set of independent, deterministic discrete-event
+// simulations. The engine fans those runs out across a bounded worker pool
+// and reassembles the results in a deterministic order, so parallelism is a
+// pure wall-clock win: because each simulation is a pure function of its
+// inputs (fixed seeds, virtual time, no shared mutable state between runs),
+// the rendered artifacts are byte-identical to a sequential execution at any
+// worker count.
+//
+// The second half of the engine is a process-wide memoized run cache
+// (memo.go): deterministic runs are keyed by (scenario, policy, seed,
+// schedule) and never simulated twice, no matter how many artifacts ask for
+// them.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the pool bound; inFlight counts jobs currently running on
+// spawned goroutines (the calling goroutine is always an implicit worker on
+// top of this, so the spawn budget is workers-1).
+var (
+	workers  atomic.Int64
+	inFlight atomic.Int64
+)
+
+func init() {
+	workers.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetWorkers bounds how many runs may execute concurrently, process-wide.
+// n ≤ 1 makes every Map strictly sequential on the calling goroutine.
+// It returns the previous bound so callers (tests, the bench -parallel flag)
+// can restore it.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// Workers reports the current pool bound.
+func Workers() int { return int(workers.Load()) }
+
+// tryAcquire claims one of the workers-1 spawn slots without blocking.
+func tryAcquire() bool {
+	limit := workers.Load() - 1
+	for {
+		cur := inFlight.Load()
+		if cur >= limit {
+			return false
+		}
+		if inFlight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func release() { inFlight.Add(-1) }
+
+// Map runs fn(0) … fn(n-1) on the worker pool and returns the results in
+// index order, regardless of completion order. When the pool is saturated a
+// job runs inline on the calling goroutine instead of queueing, which keeps
+// nested Map calls (a scenario fanning out its profiling sweep inside a
+// Figure 5 fan-out) deadlock-free by construction. A panic in any job is
+// re-raised on the calling goroutine, as it would be sequentially.
+func Map[T any](n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if n == 1 || Workers() <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	for i := 0; i < n; i++ {
+		if tryAcquire() {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer release()
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicVal == nil {
+							panicVal = r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				out[i] = fn(i)
+			}(i)
+		} else {
+			out[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return out
+}
+
+// MapSlice is Map over the elements of a slice.
+func MapSlice[In, Out any](in []In, fn func(In) Out) []Out {
+	return Map(len(in), func(i int) Out { return fn(in[i]) })
+}

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	got := Map(100, func(i int) int {
+		time.Sleep(time.Duration((100-i)%7) * time.Microsecond)
+		return i * i
+	})
+	if len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapSequentialWhenOneWorker(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	var order []int
+	Map(10, func(i int) int {
+		order = append(order, i) // safe: must run on the calling goroutine only
+		return i
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order violated: %v", order)
+		}
+	}
+}
+
+func TestMapNestedNoDeadlock(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	done := make(chan []int, 1)
+	go func() {
+		done <- Map(8, func(i int) int {
+			inner := Map(8, func(j int) int { return j })
+			sum := 0
+			for _, v := range inner {
+				sum += v
+			}
+			return sum + i
+		})
+	}()
+	select {
+	case got := <-done:
+		for i, v := range got {
+			if v != 28+i {
+				t.Fatalf("got[%d] = %d, want %d", i, v, 28+i)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested Map deadlocked")
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in job did not propagate")
+		}
+	}()
+	Map(8, func(i int) int {
+		if i == 3 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestMapSlice(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	got := MapSlice([]string{"a", "bb", "ccc"}, func(s string) int { return len(s) })
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	orig := Workers()
+	prev := SetWorkers(0)
+	if prev != orig {
+		t.Fatalf("SetWorkers returned %d, want %d", prev, orig)
+	}
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(0), want 1 (clamped)", Workers())
+	}
+	SetWorkers(orig)
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+
+	var computions atomic.Int64
+	k := Key{Scenario: "S", Policy: "P", Seed: 1}
+	var wg sync.WaitGroup
+	results := make([]int, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = Memo(k, func() int {
+				computions.Add(1)
+				time.Sleep(time.Millisecond)
+				return 42
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := computions.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("results[%d] = %d, want 42", i, v)
+		}
+	}
+	exec, cacheHits := Stats()
+	if exec != 1 {
+		t.Fatalf("Stats executed = %d, want 1", exec)
+	}
+	if cacheHits != 31 {
+		t.Fatalf("Stats hits = %d, want 31", cacheHits)
+	}
+	if CacheLen() != 1 {
+		t.Fatalf("CacheLen = %d, want 1", CacheLen())
+	}
+}
+
+func TestMemoDistinctKeys(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	for i := 0; i < 5; i++ {
+		k := Key{Scenario: "S", Policy: fmt.Sprintf("p%d", i), Seed: int64(i), Schedule: "sched"}
+		got := Memo(k, func() int { return i * 10 })
+		if got != i*10 {
+			t.Fatalf("Memo(%v) = %d, want %d", k, got, i*10)
+		}
+	}
+	if CacheLen() != 5 {
+		t.Fatalf("CacheLen = %d, want 5", CacheLen())
+	}
+	exec, cacheHits := Stats()
+	if exec != 5 || cacheHits != 0 {
+		t.Fatalf("Stats = (%d, %d), want (5, 0)", exec, cacheHits)
+	}
+}
+
+func TestMapUnderMemoRace(t *testing.T) {
+	// Hammer Map + Memo together from many goroutines; run with -race.
+	ResetCache()
+	defer ResetCache()
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Map(16, func(i int) int {
+				return Memo(Key{Scenario: "race", Seed: int64(i % 4)}, func() int {
+					return i % 4
+				})
+			})
+		}()
+	}
+	wg.Wait()
+	if n := CacheLen(); n != 4 {
+		t.Fatalf("CacheLen = %d, want 4", n)
+	}
+}

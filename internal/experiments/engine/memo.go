@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one deterministic simulation run. Two runs with equal keys
+// must be guaranteed (by the caller) to produce identical results; the cache
+// then ensures the simulation is executed at most once per process.
+//
+// Policy must encode everything that varies with the control policy —
+// including fields that Policy.String() elides, such as a pinned pole.
+// Schedule disambiguates workload variants that reuse a scenario ID with a
+// different phase plan or goal schedule (e.g. Figure 7's phased HB3813 run
+// versus the Figure 5 row).
+type Key struct {
+	Scenario string
+	Policy   string
+	Seed     int64
+	Schedule string
+}
+
+type memoEntry struct {
+	once sync.Once
+	val  any
+}
+
+var (
+	memoMu   sync.Mutex
+	memoMap  = map[Key]*memoEntry{}
+	executed atomic.Uint64
+	hits     atomic.Uint64
+)
+
+// Memo returns the cached result for k, computing it at most once
+// process-wide. Concurrent calls for the same key block on a single
+// in-flight computation rather than duplicating work (single-flight).
+func Memo[T any](k Key, compute func() T) T {
+	memoMu.Lock()
+	e, ok := memoMap[k]
+	if !ok {
+		e = &memoEntry{}
+		memoMap[k] = e
+	}
+	memoMu.Unlock()
+	first := false
+	e.once.Do(func() {
+		first = true
+		executed.Add(1)
+		e.val = compute()
+	})
+	if !first {
+		hits.Add(1)
+	}
+	return e.val.(T)
+}
+
+// ResetCache drops every memoized run and zeroes the counters. Tests and the
+// golden byte-identity check use it to force fresh simulations.
+func ResetCache() {
+	memoMu.Lock()
+	memoMap = map[Key]*memoEntry{}
+	memoMu.Unlock()
+	executed.Store(0)
+	hits.Store(0)
+}
+
+// Stats reports how many computations actually executed versus how many
+// calls were served from the cache since the last ResetCache.
+func Stats() (exec, cacheHits uint64) {
+	return executed.Load(), hits.Load()
+}
+
+// CacheLen reports the number of distinct keys memoized.
+func CacheLen() int {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	return len(memoMap)
+}

@@ -8,9 +8,9 @@ import (
 
 	"smartconf"
 	"smartconf/internal/core"
+	"smartconf/internal/experiments/engine"
 	"smartconf/internal/memsim"
 	"smartconf/internal/rpcserver"
-	"smartconf/internal/sim"
 	"smartconf/internal/workload"
 )
 
@@ -40,7 +40,7 @@ const (
 
 // RunSLAScenario executes the latency-goal scenario under a policy.
 func RunSLAScenario(p Policy) SLAResult {
-	s := sim.New()
+	s := newScenarioSim()
 	rng := rand.New(rand.NewSource(909))
 	heap := memsim.NewHeap(4 << 30) // memory is NOT the constraint here
 	sv := rpcserver.New(s, heap, rpcConfig())
@@ -108,32 +108,32 @@ func RunSLAScenario(p Policy) SLAResult {
 
 // profileSLA profiles p99 latency against four pinned queue bounds.
 func profileSLA() core.Profile {
-	col := core.NewCollector()
-	for _, setting := range []float64{30, 90, 180, 300} {
-		s := sim.New()
-		rng := rand.New(rand.NewSource(909))
-		heap := memsim.NewHeap(4 << 30)
-		sv := rpcserver.New(s, heap, rpcConfig())
-		sv.SetMaxQueue(int(setting))
-		taken := 0
-		s.Every(10*time.Second, 5*time.Second, func() bool {
-			if taken < 10 {
-				col.Record(setting, sv.Latency().Percentile(99).Seconds())
-				taken++
+	return memoProfile("SLA", func() core.Profile {
+		return profileSweep([]float64{30, 90, 180, 300}, func(setting float64, record func(setting, measurement float64)) {
+			s := newScenarioSim()
+			rng := rand.New(rand.NewSource(909))
+			heap := memsim.NewHeap(4 << 30)
+			sv := rpcserver.New(s, heap, rpcConfig())
+			sv.SetMaxQueue(int(setting))
+			taken := 0
+			s.Every(10*time.Second, 5*time.Second, func() bool {
+				if taken < 10 {
+					record(setting, sv.Latency().Percentile(99).Seconds())
+					taken++
+				}
+				return taken < 10
+			})
+			w := &rpcWorkload{
+				gen:        workload.NewYCSB(909, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 * mb}),
+				burstSize:  hb3813BurstSize,
+				burstEvery: hb3813BurstEvery,
+				spacing:    hb3813Spacing,
+				phases:     []workload.YCSBPhase{{Name: "profiling", WriteRatio: 1, RequestBytes: 1 * mb}},
 			}
-			return taken < 10
+			w.run(s, 70*time.Second, rng, func(op workload.Op) { sv.Offer(op) })
+			s.RunUntil(70 * time.Second)
 		})
-		w := &rpcWorkload{
-			gen:        workload.NewYCSB(909, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 * mb}),
-			burstSize:  hb3813BurstSize,
-			burstEvery: hb3813BurstEvery,
-			spacing:    hb3813Spacing,
-			phases:     []workload.YCSBPhase{{Name: "profiling", WriteRatio: 1, RequestBytes: 1 * mb}},
-		}
-		w.run(s, 70*time.Second, rng, func(op workload.Op) { sv.Offer(op) })
-		s.RunUntil(70 * time.Second)
-	}
-	return col.Profile()
+	})
 }
 
 // RenderSLA formats the SLA comparison.
@@ -151,13 +151,15 @@ func RenderSLA(results []SLAResult) string {
 	return b.String()
 }
 
-// BuildSLAComparison runs SmartConf plus a static sweep.
+// BuildSLAComparison runs SmartConf plus a static sweep; the five
+// independent runs fan out across the worker pool.
 func BuildSLAComparison() []SLAResult {
-	out := []SLAResult{RunSLAScenario(SmartConf())}
-	for _, v := range []float64{30, 90, 180, 400} {
-		out = append(out, RunSLAScenario(Static(v)))
-	}
-	return out
+	policies := []Policy{SmartConf(), Static(30), Static(90), Static(180), Static(400)}
+	return engine.MapSlice(policies, func(p Policy) SLAResult {
+		return engine.Memo(engine.Key{
+			Scenario: "SLA", Policy: policyKey(p), Schedule: "sla",
+		}, func() SLAResult { return RunSLAScenario(p) })
+	})
 }
 
 // --- Extension 2: distributed deployment ---
@@ -181,9 +183,15 @@ type DistributedResult struct {
 }
 
 // RunDistributedHB3813 runs nodes RPC servers behind a skewed balancer, one
-// controller per node.
+// controller per node. Memoized per cluster size.
 func RunDistributedHB3813(nodes int) DistributedResult {
-	s := sim.New()
+	return engine.Memo(engine.Key{
+		Scenario: "HB3813", Policy: fmt.Sprintf("nodes=%d", nodes), Schedule: "distributed",
+	}, func() DistributedResult { return runDistributedHB3813(nodes) })
+}
+
+func runDistributedHB3813(nodes int) DistributedResult {
+	s := newScenarioSim()
 	rng := rand.New(rand.NewSource(4444))
 	profile := publicProfile(ProfileHB3813())
 

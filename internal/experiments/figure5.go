@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"smartconf/internal/experiments/engine"
 )
 
 // Figure 5: trade-off performance comparison. For each of the six issues the
@@ -30,23 +32,33 @@ type Figure5Row struct {
 	Optimal Result
 }
 
-// BuildFigure5 runs the full comparison for every scenario.
+// BuildFigure5 runs the full comparison for every scenario, fanning the six
+// independent rows across the engine's worker pool.
 func BuildFigure5() []Figure5Row {
-	rows := make([]Figure5Row, 0, len(Scenarios()))
-	for _, sc := range Scenarios() {
-		rows = append(rows, BuildFigure5Row(sc))
-	}
-	return rows
+	return engine.MapSlice(Scenarios(), BuildFigure5Row)
 }
 
-// BuildFigure5Row runs the comparison for one scenario.
+// BuildFigure5Row runs the comparison for one scenario. All runs the row
+// needs — the static sweep, SmartConf, and the three representative statics —
+// are independent, so they fan out together; the memoized run cache
+// deduplicates representative settings that also appear in the grid.
 func BuildFigure5Row(sc Scenario) Figure5Row {
+	policies := make([]Policy, 0, len(sc.StaticGrid)+4)
+	for _, v := range sc.StaticGrid {
+		policies = append(policies, Static(v))
+	}
+	policies = append(policies, SmartConf(),
+		Static(sc.NonOptimal), Static(sc.PatchDefault), Static(sc.BuggyDefault))
+	results := engine.MapSlice(policies, func(p Policy) Result { return runCached(sc, p) })
+
 	// Exhaustive sweep for the best static setting that satisfies the
-	// constraint across both phases (§6.3's methodology).
+	// constraint across both phases (§6.3's methodology). Selection walks the
+	// grid in its declared order, so ties resolve exactly as the sequential
+	// sweep resolved them.
 	statics := make(map[float64]Result, len(sc.StaticGrid))
 	var optimal *Result
-	for _, v := range sc.StaticGrid {
-		r := sc.Run(Static(v))
+	for i, v := range sc.StaticGrid {
+		r := results[i]
 		statics[v] = r
 		if r.ConstraintMet && (optimal == nil || r.BetterThan(*optimal)) {
 			c := r
@@ -67,10 +79,8 @@ func BuildFigure5Row(sc Scenario) Figure5Row {
 		optimal = &c
 	}
 
-	smart := sc.Run(SmartConf())
-	nonOpt := runOrReuse(sc, statics, sc.NonOptimal)
-	patch := runOrReuse(sc, statics, sc.PatchDefault)
-	buggy := runOrReuse(sc, statics, sc.BuggyDefault)
+	n := len(sc.StaticGrid)
+	smart, nonOpt, patch, buggy := results[n], results[n+1], results[n+2], results[n+3]
 
 	row := Figure5Row{Issue: sc.ID, Optimal: *optimal}
 	add := func(label string, setting float64, r Result) {
@@ -88,13 +98,6 @@ func BuildFigure5Row(sc Scenario) Figure5Row {
 	add("Static-Patch-Default", sc.PatchDefault, patch)
 	add("Static-Buggy-Default", sc.BuggyDefault, buggy)
 	return row
-}
-
-func runOrReuse(sc Scenario, cache map[float64]Result, v float64) Result {
-	if r, ok := cache[v]; ok {
-		return r
-	}
-	return sc.Run(Static(v))
 }
 
 // RenderFigure5 formats the comparison as a table, with "X" marking bars

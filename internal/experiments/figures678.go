@@ -6,9 +6,9 @@ import (
 	"time"
 
 	"smartconf"
+	"smartconf/internal/experiments/engine"
 	"smartconf/internal/memsim"
 	"smartconf/internal/rpcserver"
-	"smartconf/internal/sim"
 	"smartconf/internal/workload"
 )
 
@@ -112,14 +112,18 @@ func BuildFigure7() Figure7 {
 	// Steady overload (80 ops/s against ~56 ops/s of service) keeps the
 	// queue pinned at its bound, so memory tracks the knob directly and the
 	// controllers' reaction speed is the only variable.
-	run := func(kind PolicyKind) Result {
-		return runHB3813(Policy{Kind: kind, FixedPole: 0.9}, figure7Phases(), figure7RunTime, 7813,
-			1, 12500*time.Microsecond, time.Millisecond)
-	}
+	kinds := []PolicyKind{SmartConfPolicy, SinglePolePolicy, NoVirtualGoalPolicy}
+	runs := engine.MapSlice(kinds, func(kind PolicyKind) Result {
+		p := Policy{Kind: kind, FixedPole: 0.9}
+		return memoResult("HB3813", policyKey(p), "figure7", 7813, func() Result {
+			return runHB3813(p, figure7Phases(), figure7RunTime, 7813,
+				1, 12500*time.Microsecond, time.Millisecond)
+		})
+	})
 	return Figure7{
-		SmartConf:     run(SmartConfPolicy),
-		SinglePole:    run(SinglePolePolicy),
-		NoVirtualGoal: run(NoVirtualGoalPolicy),
+		SmartConf:     runs[0],
+		SinglePole:    runs[1],
+		NoVirtualGoal: runs[2],
 	}
 }
 
@@ -197,9 +201,18 @@ func BuildFigure8() Figure8 {
 }
 
 // buildFigure8 runs the study with the interaction factor forced to n
-// (n = 1 is the naive-composition ablation).
+// (n = 1 is the naive-composition ablation). Runs are memoized so the
+// interaction-factor ablation shares the figure's N=2 run.
 func buildFigure8(n int) Figure8 {
-	s := sim.New()
+	return engine.Memo(engine.Key{
+		Scenario: "HB3813+HB6728",
+		Policy:   fmt.Sprintf("N=%d", n),
+		Schedule: "figure8",
+	}, func() Figure8 { return buildFigure8Uncached(n) })
+}
+
+func buildFigure8Uncached(n int) Figure8 {
+	s := newScenarioSim()
 	heap := memsim.NewHeap(rpcHeapCapacity)
 	cfg := hb6728Config()
 	sv := rpcserver.New(s, heap, cfg)

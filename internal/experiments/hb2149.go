@@ -9,7 +9,6 @@ import (
 	"smartconf/internal/core"
 	"smartconf/internal/kvstore"
 	"smartconf/internal/memsim"
-	"smartconf/internal/sim"
 	"smartconf/internal/workload"
 )
 
@@ -54,30 +53,30 @@ func hb2149Block(fraction float64) float64 {
 // ProfileHB2149 profiles block duration against the pinned flush fraction
 // under the profiling workload (YCSB 1.0W, 1 MB).
 func ProfileHB2149() core.Profile {
-	col := core.NewCollector()
-	for _, setting := range []float64{0.2, 0.4, 0.6, 0.8} {
-		s := sim.New()
-		heap := memsim.NewHeap(2 << 30)
-		st := kvstore.NewMemstore(s, heap, hb2149Config(), setting)
-		taken := 0
-		gen := workload.NewYCSB(2149, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 * mb})
-		s.Every(0, hb2149WriteEvery, func() bool {
-			st.Write(gen.NextOp().Bytes)
-			// One measurement per completed flush, up to 10.
-			if n := st.BlockTimes().Count(); int(n) > taken && taken < 10 {
-				col.Record(setting, st.BlockTimes().Last().Seconds())
-				taken = int(n)
-			}
-			return taken < 10 && !st.Crashed()
+	return memoProfile("HB2149", func() core.Profile {
+		return profileSweep([]float64{0.2, 0.4, 0.6, 0.8}, func(setting float64, record func(setting, measurement float64)) {
+			s := newScenarioSim()
+			heap := memsim.NewHeap(2 << 30)
+			st := kvstore.NewMemstore(s, heap, hb2149Config(), setting)
+			taken := 0
+			gen := workload.NewYCSB(2149, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 * mb})
+			s.Every(0, hb2149WriteEvery, func() bool {
+				st.Write(gen.NextOp().Bytes)
+				// One measurement per completed flush, up to 10.
+				if n := st.BlockTimes().Count(); int(n) > taken && taken < 10 {
+					record(setting, st.BlockTimes().Last().Seconds())
+					taken = int(n)
+				}
+				return taken < 10 && !st.Crashed()
+			})
+			s.Run()
 		})
-		s.Run()
-	}
-	return col.Profile()
+	})
 }
 
 // RunHB2149 executes the two-phase evaluation under the given policy.
 func RunHB2149(p Policy) Result {
-	s := sim.New()
+	s := newScenarioSim()
 	rng := rand.New(rand.NewSource(2149))
 	heap := memsim.NewHeap(2 << 30)
 	st := kvstore.NewMemstore(s, heap, hb2149Config(), 0.5)
@@ -111,7 +110,7 @@ func RunHB2149(p Policy) Result {
 	case SinglePolePolicy, NoVirtualGoalPolicy:
 		// The Figure 7 ablations target hard memory goals; for this soft
 		// scenario they behave like SmartConf and are not studied.
-		return RunHB2149(SmartConf())
+		return runCached(HB2149Scenario(), SmartConf())
 	}
 
 	blockS := Series{Name: "block_time", Unit: "s"}

@@ -9,7 +9,6 @@ import (
 	"smartconf/internal/core"
 	"smartconf/internal/memsim"
 	"smartconf/internal/rpcserver"
-	"smartconf/internal/sim"
 	"smartconf/internal/workload"
 )
 
@@ -42,35 +41,35 @@ func hb3813Phases() []workload.YCSBPhase {
 // values), collecting 10 heap measurements per setting, taken at enqueue
 // time as §6.1 describes.
 func ProfileHB3813() core.Profile {
-	col := core.NewCollector()
-	for _, setting := range []float64{40, 80, 120, 160} {
-		s := sim.New()
-		rng := rand.New(rand.NewSource(3813))
-		heap := memsim.NewHeap(rpcHeapCapacity)
-		sv := rpcserver.New(s, heap, rpcConfig())
-		sv.SetMaxQueue(int(setting))
-		heapNoise(s, heap, rng, rpcNoiseMax, hb3813ProfileStep)
+	return memoProfile("HB3813", func() core.Profile {
+		return profileSweep([]float64{40, 80, 120, 160}, func(setting float64, record func(setting, measurement float64)) {
+			s := newScenarioSim()
+			rng := rand.New(rand.NewSource(3813))
+			heap := memsim.NewHeap(rpcHeapCapacity)
+			sv := rpcserver.New(s, heap, rpcConfig())
+			sv.SetMaxQueue(int(setting))
+			heapNoise(s, heap, rng, rpcNoiseMax, hb3813ProfileStep)
 
-		enqueues, taken := 0, 0
-		sv.BeforeAdmit = func() {
-			enqueues++
-			// Spread 10 samples across the window: one every ~200 enqueues.
-			if enqueues%200 == 0 && taken < 10 {
-				col.Record(setting, float64(heap.Used()))
-				taken++
+			enqueues, taken := 0, 0
+			sv.BeforeAdmit = func() {
+				enqueues++
+				// Spread 10 samples across the window: one every ~200 enqueues.
+				if enqueues%200 == 0 && taken < 10 {
+					record(setting, float64(heap.Used()))
+					taken++
+				}
 			}
-		}
-		w := &rpcWorkload{
-			gen:        workload.NewYCSB(3813, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 * mb}),
-			burstSize:  hb3813BurstSize,
-			burstEvery: hb3813BurstEvery,
-			spacing:    hb3813Spacing,
-			phases:     []workload.YCSBPhase{{Name: "profiling", WriteRatio: 1, RequestBytes: 1 * mb}},
-		}
-		w.run(s, hb3813ProfileStep, rng, func(op workload.Op) { sv.Offer(op) })
-		s.RunUntil(hb3813ProfileStep)
-	}
-	return col.Profile()
+			w := &rpcWorkload{
+				gen:        workload.NewYCSB(3813, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 * mb}),
+				burstSize:  hb3813BurstSize,
+				burstEvery: hb3813BurstEvery,
+				spacing:    hb3813Spacing,
+				phases:     []workload.YCSBPhase{{Name: "profiling", WriteRatio: 1, RequestBytes: 1 * mb}},
+			}
+			w.run(s, hb3813ProfileStep, rng, func(op workload.Op) { sv.Offer(op) })
+			s.RunUntil(hb3813ProfileStep)
+		})
+	})
 }
 
 // RunHB3813 executes the two-phase evaluation under the given policy.
@@ -83,7 +82,7 @@ func RunHB3813(p Policy) Result {
 // workload (steady overload instead of bursts, with a mid-run size jump).
 func runHB3813(p Policy, phases []workload.YCSBPhase, runTime time.Duration, seed int64,
 	burstSize int, burstEvery, spacing time.Duration) Result {
-	s := sim.New()
+	s := newScenarioSim()
 	rng := rand.New(rand.NewSource(seed))
 	heap := memsim.NewHeap(rpcHeapCapacity)
 	sv := rpcserver.New(s, heap, rpcConfig())
@@ -180,7 +179,7 @@ func runHB3813(p Policy, phases []workload.YCSBPhase, runTime time.Duration, see
 // admission and returns the max.queue.size to apply. Used by the ablation
 // harness.
 func runHB3813Custom(decide func(heapUsed float64, queueLen int) int) Result {
-	s := sim.New()
+	s := newScenarioSim()
 	rng := rand.New(rand.NewSource(3813))
 	heap := memsim.NewHeap(rpcHeapCapacity)
 	sv := rpcserver.New(s, heap, rpcConfig())

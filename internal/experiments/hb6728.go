@@ -9,7 +9,6 @@ import (
 	"smartconf/internal/core"
 	"smartconf/internal/memsim"
 	"smartconf/internal/rpcserver"
-	"smartconf/internal/sim"
 	"smartconf/internal/workload"
 )
 
@@ -73,43 +72,44 @@ func hb6728Op(op workload.Op) workload.Op {
 // ProfileHB6728 profiles heap consumption against the pinned response-queue
 // byte bound under the profiling workload (YCSB 0.0W, 2 MB).
 func ProfileHB6728() core.Profile {
-	col := core.NewCollector()
-	for _, setting := range []float64{32 * float64(mb), 64 * float64(mb), 96 * float64(mb), 128 * float64(mb)} {
-		s := sim.New()
-		rng := rand.New(rand.NewSource(6728))
-		heap := memsim.NewHeap(rpcHeapCapacity)
-		sv := rpcserver.New(s, heap, hb6728Config())
-		sv.SetMaxQueue(1000)
-		sv.SetMaxRespBytes(int64(setting))
-		heapNoise(s, heap, rng, rpcNoiseMax, hb3813ProfileStep)
+	return memoProfile("HB6728", func() core.Profile {
+		settings := []float64{32 * float64(mb), 64 * float64(mb), 96 * float64(mb), 128 * float64(mb)}
+		return profileSweep(settings, func(setting float64, record func(setting, measurement float64)) {
+			s := newScenarioSim()
+			rng := rand.New(rand.NewSource(6728))
+			heap := memsim.NewHeap(rpcHeapCapacity)
+			sv := rpcserver.New(s, heap, hb6728Config())
+			sv.SetMaxQueue(1000)
+			sv.SetMaxRespBytes(int64(setting))
+			heapNoise(s, heap, rng, rpcNoiseMax, hb3813ProfileStep)
 
-		// Time-driven sensor sampling (1 every 6 s): responds cluster inside
-		// bursts, so sampling there would systematically miss the idle-heap
-		// troughs and underestimate the system's variability (λ).
-		taken := 0
-		s.Every(3*time.Second, 6*time.Second, func() bool {
-			if taken < 10 && !heap.OOM() {
-				col.Record(setting, float64(heap.Used()))
-				taken++
+			// Time-driven sensor sampling (1 every 6 s): responds cluster inside
+			// bursts, so sampling there would systematically miss the idle-heap
+			// troughs and underestimate the system's variability (λ).
+			taken := 0
+			s.Every(3*time.Second, 6*time.Second, func() bool {
+				if taken < 10 && !heap.OOM() {
+					record(setting, float64(heap.Used()))
+					taken++
+				}
+				return taken < 10
+			})
+			w := &rpcWorkload{
+				gen:        workload.NewYCSB(6728, 1000, workload.YCSBPhase{WriteRatio: 0, RequestBytes: 4 << 10}),
+				burstSize:  hb6728BurstSize,
+				burstEvery: hb6728BurstEvery,
+				spacing:    hb6728Spacing,
+				phases:     []workload.YCSBPhase{{Name: "profiling", WriteRatio: 0, RequestBytes: 4 << 10}},
 			}
-			return taken < 10
+			w.run(s, hb3813ProfileStep, rng, func(op workload.Op) { sv.Offer(hb6728Op(op)) })
+			s.RunUntil(hb3813ProfileStep)
 		})
-		w := &rpcWorkload{
-			gen:        workload.NewYCSB(6728, 1000, workload.YCSBPhase{WriteRatio: 0, RequestBytes: 4 << 10}),
-			burstSize:  hb6728BurstSize,
-			burstEvery: hb6728BurstEvery,
-			spacing:    hb6728Spacing,
-			phases:     []workload.YCSBPhase{{Name: "profiling", WriteRatio: 0, RequestBytes: 4 << 10}},
-		}
-		w.run(s, hb3813ProfileStep, rng, func(op workload.Op) { sv.Offer(hb6728Op(op)) })
-		s.RunUntil(hb3813ProfileStep)
-	}
-	return col.Profile()
+	})
 }
 
 // RunHB6728 executes the two-phase evaluation under the given policy.
 func RunHB6728(p Policy) Result {
-	s := sim.New()
+	s := newScenarioSim()
 	rng := rand.New(rand.NewSource(6728))
 	heap := memsim.NewHeap(rpcHeapCapacity)
 	sv := rpcserver.New(s, heap, hb6728Config())

@@ -8,7 +8,6 @@ import (
 	"smartconf"
 	"smartconf/internal/core"
 	"smartconf/internal/dfs"
-	"smartconf/internal/sim"
 )
 
 // HD4995: content-summary.limit decides how many files a du traversal
@@ -42,40 +41,40 @@ func hd4995Config() dfs.Config {
 // ProfileHD4995 profiles lock-hold duration against the pinned chunk limit
 // under the profiling workload (TestDFSIO, single client: light writer load).
 func ProfileHD4995() core.Profile {
-	col := core.NewCollector()
-	for _, setting := range []float64{5_000, 15_000, 30_000, 60_000} {
-		s := sim.New()
-		nn := dfs.New(s, hd4995Config(), int(setting))
-		// Single writer client at 2 writes/s (the profiling workload).
-		s.Every(0, 500*time.Millisecond, func() bool {
-			nn.Write()
-			return s.Now() < 10*time.Minute
+	return memoProfile("HD4995", func() core.Profile {
+		return profileSweep([]float64{5_000, 15_000, 30_000, 60_000}, func(setting float64, record func(setting, measurement float64)) {
+			s := newScenarioSim()
+			nn := dfs.New(s, hd4995Config(), int(setting))
+			// Single writer client at 2 writes/s (the profiling workload).
+			s.Every(0, 500*time.Millisecond, func() bool {
+				nn.Write()
+				return s.Now() < 10*time.Minute
+			})
+			// Samples pair the deputy (files actually traversed in the hold)
+			// with the measured hold time; partial final chunks are thereby
+			// attributed to their true size instead of biasing the slope.
+			taken := 0
+			seen := int64(0)
+			s.Every(time.Second, time.Second, func() bool {
+				if n := nn.HoldTimes().Count(); n > seen && taken < 10 {
+					record(float64(nn.LastChunkFiles()), nn.HoldTimes().Last().Seconds())
+					seen = n
+					taken++
+				}
+				return taken < 10
+			})
+			// Back-to-back du requests supply enough lock holds.
+			var loop func(time.Duration)
+			loop = func(time.Duration) { nn.Du(loop) }
+			s.At(0, func() { nn.Du(loop) })
+			s.RunUntil(10 * time.Minute)
 		})
-		// Samples pair the deputy (files actually traversed in the hold)
-		// with the measured hold time; partial final chunks are thereby
-		// attributed to their true size instead of biasing the slope.
-		taken := 0
-		seen := int64(0)
-		s.Every(time.Second, time.Second, func() bool {
-			if n := nn.HoldTimes().Count(); n > seen && taken < 10 {
-				col.Record(float64(nn.LastChunkFiles()), nn.HoldTimes().Last().Seconds())
-				seen = n
-				taken++
-			}
-			return taken < 10
-		})
-		// Back-to-back du requests supply enough lock holds.
-		var loop func(time.Duration)
-		loop = func(time.Duration) { nn.Du(loop) }
-		s.At(0, func() { nn.Du(loop) })
-		s.RunUntil(10 * time.Minute)
-	}
-	return col.Profile()
+	})
 }
 
 // RunHD4995 executes the two-phase evaluation under the given policy.
 func RunHD4995(p Policy) Result {
-	s := sim.New()
+	s := newScenarioSim()
 	rng := rand.New(rand.NewSource(4995))
 	nn := dfs.New(s, hd4995Config(), 1)
 
@@ -105,7 +104,7 @@ func RunHD4995(p Policy) Result {
 		}
 		setGoal = ic.SetGoal
 	case SinglePolePolicy, NoVirtualGoalPolicy:
-		return RunHD4995(SmartConf()) // ablations target hard memory goals
+		return runCached(HD4995Scenario(), SmartConf()) // ablations target hard memory goals
 	}
 
 	holdS := Series{Name: "lock_hold", Unit: "s"}

@@ -119,64 +119,64 @@ func llmDrive(s *sim.Simulation, sv *llmserve.Server, phases []workload.LLMPhase
 // size in uncounted decode KV behind it, and the controller's model must
 // know that or its corrections overshoot the real heap response.
 func ProfileLLMKV() core.Profile {
-	col := core.NewCollector()
-	kvb := float64(llmKVPerToken())
-	for _, setting := range []float64{16384, 32768, 49152, 65536} {
-		s := sim.New()
-		rng := rand.New(rand.NewSource(7001))
-		heap := memsim.NewHeap(llmProfileHeap)
-		sv := llmserve.New(s, heap, llmConfig())
-		sv.SetMaxBatchedTokens(int(setting))
-		heapNoise(s, heap, rng, llmNoiseMax, llmProfileTime)
+	return memoProfile("LLMKV", func() core.Profile {
+		kvb := float64(llmKVPerToken())
+		return profileSweep([]float64{16384, 32768, 49152, 65536}, func(setting float64, record func(setting, measurement float64)) {
+			s := newScenarioSim()
+			rng := rand.New(rand.NewSource(7001))
+			heap := memsim.NewHeap(llmProfileHeap)
+			sv := llmserve.New(s, heap, llmConfig())
+			sv.SetMaxBatchedTokens(int(setting))
+			heapNoise(s, heap, rng, llmNoiseMax, llmProfileTime)
 
-		taken := 0
-		s.Every(25*time.Second, 4*time.Second, func() bool {
-			if taken < 10 {
-				col.Record(setting*kvb, float64(heap.Used()))
-				taken++
-			}
-			return taken < 10
+			taken := 0
+			s.Every(25*time.Second, 4*time.Second, func() bool {
+				if taken < 10 {
+					record(setting*kvb, float64(heap.Used()))
+					taken++
+				}
+				return taken < 10
+			})
+			llmDrive(s, sv, []workload.LLMPhase{
+				// Saturating: offered load exceeds service capacity at every
+				// pinned setting, so the admitted prompts actually fill the bound.
+				{Name: "profiling", RequestsPerSec: 80, PromptMean: 150, OutputMean: 300},
+			}, 7002, llmProfileTime)
+			s.RunUntil(llmProfileTime)
 		})
-		llmDrive(s, sv, []workload.LLMPhase{
-			// Saturating: offered load exceeds service capacity at every
-			// pinned setting, so the admitted prompts actually fill the bound.
-			{Name: "profiling", RequestsPerSec: 80, PromptMean: 150, OutputMean: 300},
-		}, 7002, llmProfileTime)
-		s.RunUntil(llmProfileTime)
-	}
-	return col.Profile()
+	})
 }
 
 // ProfileLLMKVTTFT profiles TTFT p95 against admission.queue.limit pinned
 // at four settings, under a sustained document overload (the regime where
 // the waiting queue, and therefore TTFT, actually builds).
 func ProfileLLMKVTTFT() core.Profile {
-	col := core.NewCollector()
-	for _, setting := range []float64{64, 128, 256, 384} {
-		s := sim.New()
-		rng := rand.New(rand.NewSource(7003))
-		heap := memsim.NewHeap(llmHeapCapacity)
-		sv := llmserve.New(s, heap, llmConfig())
-		// A modest pinned batch bound keeps service slow so the waiting
-		// queue — not the batch — is the binding resource.
-		sv.SetMaxBatchedTokens(16384)
-		sv.SetWaitingLimit(int(setting))
-		heapNoise(s, heap, rng, llmNoiseMax, llmTTFTProfileTime)
+	return memoProfile("LLMKV-TTFT", func() core.Profile {
+		return profileSweep([]float64{64, 128, 256, 384}, func(setting float64, record func(setting, measurement float64)) {
+			s := newScenarioSim()
+			rng := rand.New(rand.NewSource(7003))
+			heap := memsim.NewHeap(llmHeapCapacity)
+			sv := llmserve.New(s, heap, llmConfig())
+			// A modest pinned batch bound keeps service slow so the waiting
+			// queue — not the batch — is the binding resource.
+			sv.SetMaxBatchedTokens(16384)
+			sv.SetWaitingLimit(int(setting))
+			heapNoise(s, heap, rng, llmNoiseMax, llmTTFTProfileTime)
 
-		taken := 0
-		s.Every(40*time.Second, 6*time.Second, func() bool {
-			if taken < 10 {
-				col.Record(setting, sv.TTFT().Percentile(95).Seconds())
-				taken++
-			}
-			return taken < 10
+			taken := 0
+			s.Every(40*time.Second, 6*time.Second, func() bool {
+				if taken < 10 {
+					record(setting, sv.TTFT().Percentile(95).Seconds())
+					taken++
+				}
+				return taken < 10
+			})
+			llmDrive(s, sv, []workload.LLMPhase{
+				{Name: "profiling", RequestsPerSec: 30, PromptMean: 1500, OutputMean: 200},
+			}, 7004, llmTTFTProfileTime)
+			s.RunUntil(llmTTFTProfileTime)
 		})
-		llmDrive(s, sv, []workload.LLMPhase{
-			{Name: "profiling", RequestsPerSec: 30, PromptMean: 1500, OutputMean: 200},
-		}, 7004, llmTTFTProfileTime)
-		s.RunUntil(llmTTFTProfileTime)
-	}
-	return col.Profile()
+	})
 }
 
 // llmProbe samples the scenario's time series once per second.
@@ -217,7 +217,7 @@ func startLLMProbe(s *sim.Simulation, heap *memsim.Heap, sv *llmserve.Server, un
 // Static policies pin max.num.batched.tokens and keep the default
 // admission.queue.limit; SmartConf controls both knobs.
 func RunLLMKV(p Policy) Result {
-	s := sim.New()
+	s := newScenarioSim()
 	rng := rand.New(rand.NewSource(9001))
 	heap := memsim.NewHeap(llmHeapCapacity)
 	sv := llmserve.New(s, heap, llmConfig())

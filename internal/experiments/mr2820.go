@@ -7,6 +7,7 @@ import (
 
 	"smartconf"
 	"smartconf/internal/core"
+	"smartconf/internal/experiments/engine"
 	"smartconf/internal/mapred"
 	"smartconf/internal/sim"
 	"smartconf/internal/workload"
@@ -72,40 +73,42 @@ func mr2820CoTenant(s *sim.Simulation, c *mapred.Cluster, rng *rand.Rand, low, h
 
 // ProfileMR2820 profiles peak disk consumption against the pinned
 // minspacestart under the profiling workload: WordCount(2 GB, 64 MB, ×1)
-// with the co-tenant walking.
+// with the co-tenant walking. The campaign runs once process-wide and its
+// four pinned-setting runs fan out across the worker pool.
 func ProfileMR2820() core.Profile {
-	col := core.NewCollector()
-	job := workload.WordCountJob{Name: "profiling", InputBytes: 2 << 30, SplitBytes: 64 * mb, Parallelism: 1, SpillRatio: 1.25}
-	for _, setting := range []float64{50 * float64(mb), 150 * float64(mb), 250 * float64(mb), 350 * float64(mb)} {
-		s := sim.New()
-		rng := rand.New(rand.NewSource(2820))
-		c := mapred.New(s, mr2820Config(), int64(setting))
-		// The profiling run stresses the disks (a heavier co-tenant than the
-		// evaluation) so the knob↔occupancy relation is identifiable — the
-		// paper's advice that wider profiling workloads make the controller
-		// more robust.
-		mr2820CoTenant(s, c, rng, 550*mb, 950*mb, 120*mb, time.Hour)
-		// Time-driven sampling: the scheduler hook only fires when a slot is
-		// idle, which would systematically miss the occupancy of running
-		// tasks and flatten the model.
-		taken := 0
-		s.Every(10*time.Second, 5*time.Second, func() bool {
-			if taken < 10 {
-				var max int64
-				for _, w := range c.Workers() {
-					if v := w.Disk.Used() + w.Committed(); v > max {
-						max = v
+	return memoProfile("MR2820", func() core.Profile {
+		job := workload.WordCountJob{Name: "profiling", InputBytes: 2 << 30, SplitBytes: 64 * mb, Parallelism: 1, SpillRatio: 1.25}
+		settings := []float64{50 * float64(mb), 150 * float64(mb), 250 * float64(mb), 350 * float64(mb)}
+		return profileSweep(settings, func(setting float64, record func(setting, measurement float64)) {
+			s := newScenarioSim()
+			rng := rand.New(rand.NewSource(2820))
+			c := mapred.New(s, mr2820Config(), int64(setting))
+			// The profiling run stresses the disks (a heavier co-tenant than the
+			// evaluation) so the knob↔occupancy relation is identifiable — the
+			// paper's advice that wider profiling workloads make the controller
+			// more robust.
+			mr2820CoTenant(s, c, rng, 550*mb, 950*mb, 120*mb, time.Hour)
+			// Time-driven sampling: the scheduler hook only fires when a slot is
+			// idle, which would systematically miss the occupancy of running
+			// tasks and flatten the model.
+			taken := 0
+			s.Every(10*time.Second, 5*time.Second, func() bool {
+				if taken < 10 {
+					var max int64
+					for _, w := range c.Workers() {
+						if v := w.Disk.Used() + w.Committed(); v > max {
+							max = v
+						}
 					}
+					record(setting, float64(max))
+					taken++
 				}
-				col.Record(setting, float64(max))
-				taken++
-			}
-			return taken < 10
+				return taken < 10
+			})
+			s.At(time.Second, func() { c.RunJob(job, func(mapred.JobResult) { s.Stop() }) })
+			s.RunUntil(time.Hour)
 		})
-		s.At(time.Second, func() { c.RunJob(job, func(mapred.JobResult) { s.Stop() }) })
-		s.RunUntil(time.Hour)
-	}
-	return col.Profile()
+	})
 }
 
 // RunMR2820 executes the six-job evaluation (three phase-1 WordCounts, then
@@ -120,8 +123,12 @@ func RunMR2820(p Policy) Result {
 	agg := Result{Issue: "MR2820", Policy: p, ConstraintMet: true}
 	var total float64
 	const seeds = 5
-	for seed := int64(0); seed < seeds; seed++ {
-		r := runMR2820Seed(p, 2821+seed)
+	results := engine.Map(seeds, func(i int) Result {
+		seed := 2821 + int64(i)
+		return memoResult("MR2820", policyKey(p), "seed-race", seed,
+			func() Result { return runMR2820Seed(p, seed) })
+	})
+	for seed, r := range results {
 		total += r.Tradeoff
 		if !r.ConstraintMet && agg.ConstraintMet {
 			agg.ConstraintMet = false
@@ -139,7 +146,7 @@ func RunMR2820(p Policy) Result {
 }
 
 func runMR2820Seed(p Policy, seed int64) Result {
-	s := sim.New()
+	s := newScenarioSim()
 	rng := rand.New(rand.NewSource(seed))
 	c := mapred.New(s, mr2820Config(), 0)
 

@@ -7,9 +7,9 @@ import (
 	"time"
 
 	"smartconf"
+	"smartconf/internal/experiments/engine"
 	"smartconf/internal/memsim"
 	"smartconf/internal/rpcserver"
-	"smartconf/internal/sim"
 	"smartconf/internal/workload"
 )
 
@@ -50,18 +50,26 @@ func RobustnessGrid() []RobustnessCell {
 }
 
 // RunRobustnessSweep executes every grid cell with the one profiled
-// controller and fills in the outcomes.
+// controller and fills in the outcomes. The 54 cells are independent and fan
+// out across the worker pool; each synthesizes from its own profile copy
+// (synthesis is deterministic from the profile's content, so the copies
+// change nothing about the results).
 func RunRobustnessSweep() []RobustnessCell {
-	profile := publicProfile(ProfileHB3813())
-	cells := RobustnessGrid()
-	for i := range cells {
-		cells[i] = runRobustnessCell(profile, cells[i])
-	}
-	return cells
+	profile := ProfileHB3813()
+	return engine.MapSlice(RobustnessGrid(), func(cell RobustnessCell) RobustnessCell {
+		return engine.Memo(engine.Key{
+			Scenario: "HB3813",
+			Policy: fmt.Sprintf("burst=%d every=%g req=%g writes=%g",
+				cell.BurstSize, cell.BurstEverySec, cell.RequestMB, cell.WriteRatio),
+			Schedule: "robustness",
+		}, func() RobustnessCell {
+			return runRobustnessCell(publicProfile(profile), cell)
+		})
+	})
 }
 
 func runRobustnessCell(profile *smartconf.Profile, cell RobustnessCell) RobustnessCell {
-	s := sim.New()
+	s := newScenarioSim()
 	rng := rand.New(rand.NewSource(int64(cell.BurstSize)*1000 + int64(cell.BurstEverySec*10)))
 	heap := memsim.NewHeap(rpcHeapCapacity)
 	sv := rpcserver.New(s, heap, rpcConfig())

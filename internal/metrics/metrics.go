@@ -114,13 +114,16 @@ func (m *Meter) Total(now time.Duration) float64 {
 
 func (m *Meter) expire(now time.Duration) {
 	cutoff := now - m.window
-	i := 0
+	// Common case on every Mark: the head bucket is still live, so there is
+	// nothing to drop — return before touching the rest of the slice.
+	if len(m.buckets) == 0 || m.buckets[0].start+m.bucket > cutoff {
+		return
+	}
+	i := 1
 	for i < len(m.buckets) && m.buckets[i].start+m.bucket <= cutoff {
 		i++
 	}
-	if i > 0 {
-		m.buckets = append(m.buckets[:0], m.buckets[i:]...)
-	}
+	m.buckets = append(m.buckets[:0], m.buckets[i:]...)
 }
 
 // Latency tracks request latencies: a sliding sample window for averages and
@@ -200,15 +203,19 @@ type LatencySnapshot struct {
 
 // Snapshot returns count, mean, p50, p95 and worst in one call, so
 // experiment renderers and CSV writers do not recompute percentiles
-// piecemeal from the same window.
+// piecemeal from the same window. Both percentiles come from a single copy
+// and sort of the window (stat.Percentiles), not one sort per quantile.
 func (l *Latency) Snapshot() LatencySnapshot {
-	return LatencySnapshot{
+	snap := LatencySnapshot{
 		Count: l.count,
 		Mean:  l.Mean(),
-		P50:   l.Percentile(50),
-		P95:   l.Percentile(95),
 		Worst: l.worst,
 	}
+	if ps, err := stat.Percentiles(l.window.Snapshot(), 50, 95); err == nil {
+		snap.P50 = time.Duration(ps[0] * float64(time.Second))
+		snap.P95 = time.Duration(ps[1] * float64(time.Second))
+	}
+	return snap
 }
 
 // Reset clears the window and worst case (used at phase boundaries when a

@@ -168,3 +168,52 @@ func TestLatencySnapshot(t *testing.T) {
 		t.Errorf("empty snapshot not zero: %+v", e)
 	}
 }
+
+func TestMeterLazyExpiry(t *testing.T) {
+	m := NewMeter(time.Second)
+	// Fill several buckets, then Mark repeatedly inside the window: nothing
+	// should be dropped while the head bucket is live.
+	for i := 0; i < 10; i++ {
+		m.Mark(time.Duration(i)*50*time.Millisecond, 1)
+	}
+	if got := m.Total(450 * time.Millisecond); got != 10 {
+		t.Errorf("Total = %v, want 10 (nothing expired)", got)
+	}
+	// Jump far past the window: everything expires at once.
+	if got := m.Total(10 * time.Second); got != 0 {
+		t.Errorf("Total = %v, want 0 (all expired)", got)
+	}
+	if len(m.buckets) != 0 {
+		t.Errorf("buckets = %d, want 0 after full expiry", len(m.buckets))
+	}
+	// And the meter keeps working afterwards.
+	m.Mark(10*time.Second, 3)
+	if got := m.Total(10 * time.Second); got != 3 {
+		t.Errorf("Total after refill = %v, want 3", got)
+	}
+}
+
+// BenchmarkMeterMark exercises the Mark hot path with a sliding window; the
+// lazy early-exit in expire makes the common no-expiry case O(1).
+func BenchmarkMeterMark(b *testing.B) {
+	m := NewMeter(time.Second)
+	now := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 100 * time.Microsecond
+		m.Mark(now, 1)
+	}
+}
+
+func BenchmarkLatencySnapshot(b *testing.B) {
+	l := NewLatency(512)
+	for i := 0; i < 2048; i++ {
+		l.Observe(time.Duration((i*7919)%1000) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Snapshot()
+	}
+}

@@ -11,55 +11,62 @@
 // total order over (time, sequence)), which keeps every experiment
 // reproducible regardless of map iteration or goroutine scheduling — the
 // simulator is single-goroutine by design.
+//
+// The event queue is a value-typed 4-ary implicit heap: events are stored
+// inline in a slice (no per-At allocation, no interface boxing as with
+// container/heap), and the wider fan-out halves the sift-down depth for the
+// queue sizes the substrates produce.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
-// Event is a scheduled callback.
+// event is a scheduled callback, stored by value in the heap slice.
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before is the strict total order (time, then scheduling sequence).
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
+
+// defaultQueueCapacity is the initial event-queue capacity used by New.
+// Substrates that know their steady-state queue depth can pass a tighter or
+// larger hint via NewWithCapacity.
+const defaultQueueCapacity = 256
 
 // Simulation owns a virtual clock and an event queue.
 // It is not safe for concurrent use: all substrate code runs inside event
 // callbacks on a single goroutine.
 type Simulation struct {
 	now     time.Duration
-	queue   eventQueue
+	queue   []event // 4-ary min-heap ordered by (at, seq)
 	seq     uint64
 	stopped bool
 	events  uint64 // total events executed (diagnostics / benchmarks)
 }
 
-// New returns an empty simulation at time zero.
+// New returns an empty simulation at time zero with a default queue capacity.
 func New() *Simulation {
-	return &Simulation{}
+	return NewWithCapacity(defaultQueueCapacity)
+}
+
+// NewWithCapacity returns an empty simulation whose event queue is pre-sized
+// for roughly hint simultaneously pending events, avoiding growth
+// reallocations on the scheduling hot path.
+func NewWithCapacity(hint int) *Simulation {
+	if hint < 0 {
+		hint = 0
+	}
+	return &Simulation{queue: make([]event, 0, hint)}
 }
 
 // Now returns the current virtual time.
@@ -78,7 +85,8 @@ func (s *Simulation) At(t time.Duration, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	s.queue = append(s.queue, event{at: t, seq: s.seq, fn: fn})
+	s.siftUp(len(s.queue) - 1)
 }
 
 // After schedules fn d after the current virtual time. Negative d panics.
@@ -135,8 +143,64 @@ func (s *Simulation) RunUntil(deadline time.Duration) {
 func (s *Simulation) Pending() int { return len(s.queue) }
 
 func (s *Simulation) step() {
-	e := heap.Pop(&s.queue).(*event)
+	e := s.queue[0]
+	s.pop()
 	s.now = e.at
 	s.events++
 	e.fn()
+}
+
+// pop removes the minimum event from the heap.
+func (s *Simulation) pop() {
+	n := len(s.queue) - 1
+	s.queue[0] = s.queue[n]
+	s.queue[n] = event{} // release the callback for GC
+	s.queue = s.queue[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+}
+
+// siftUp restores the heap property after appending at index i.
+// Parent of i in a 4-ary heap is (i-1)/4.
+func (s *Simulation) siftUp(i int) {
+	e := s.queue[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.before(s.queue[p]) {
+			break
+		}
+		s.queue[i] = s.queue[p]
+		i = p
+	}
+	s.queue[i] = e
+}
+
+// siftDown restores the heap property from index i toward the leaves.
+// Children of i are 4i+1 … 4i+4.
+func (s *Simulation) siftDown(i int) {
+	n := len(s.queue)
+	e := s.queue[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		min := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s.queue[j].before(s.queue[min]) {
+				min = j
+			}
+		}
+		if !s.queue[min].before(e) {
+			break
+		}
+		s.queue[i] = s.queue[min]
+		i = min
+	}
+	s.queue[i] = e
 }

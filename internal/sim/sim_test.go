@@ -148,6 +148,54 @@ func TestBadEveryIntervalPanics(t *testing.T) {
 	New().Every(0, 0, func() bool { return false })
 }
 
+func TestNewWithCapacity(t *testing.T) {
+	s := NewWithCapacity(1024)
+	if got := cap(s.queue); got != 1024 {
+		t.Errorf("queue capacity = %d, want 1024", got)
+	}
+	// Negative hints are clamped, not panicked on.
+	s = NewWithCapacity(-1)
+	s.At(time.Second, func() {})
+	s.Run()
+	if s.Events() != 1 {
+		t.Errorf("Events = %d, want 1", s.Events())
+	}
+}
+
+// Interleaved schedule/execute stress: nested events keep the heap busy at
+// mixed depths so sift-up and sift-down both get exercised past the 4-ary
+// branch boundaries.
+func TestHeapStressInterleaved(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	record := func() { fired = append(fired, s.Now()) }
+	// Seed a pseudo-random but deterministic schedule pattern.
+	x := uint64(12345)
+	next := func(mod uint64) time.Duration {
+		x = x*6364136223846793005 + 1442695040888963407
+		return time.Duration(x%mod) * time.Millisecond
+	}
+	for i := 0; i < 500; i++ {
+		at := next(1000)
+		s.At(at, func() {
+			record()
+			if s.Events()%3 == 0 {
+				s.After(next(50), record)
+			}
+		})
+	}
+	s.Run()
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("clock went backwards: fired[%d]=%v < fired[%d]=%v",
+				i, fired[i], i-1, fired[i-1])
+		}
+	}
+	if uint64(len(fired)) != s.Events() {
+		t.Fatalf("recorded %d events, simulator counted %d", len(fired), s.Events())
+	}
+}
+
 // Property: for any multiset of schedule times, execution order is the
 // sorted order and the clock never goes backwards.
 func TestEventOrderProperty(t *testing.T) {
@@ -176,5 +224,41 @@ func TestEventOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// BenchmarkSimSchedule measures the At→Run hot path: one schedule plus one
+// dispatch per iteration against a warm queue. With the value-typed 4-ary
+// heap this is 0 allocs/op (container/heap boxed one *event per At).
+func BenchmarkSimSchedule(b *testing.B) {
+	s := NewWithCapacity(1)
+	fn := func() {}
+	t := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += time.Millisecond
+		s.At(t, fn)
+		s.Run()
+	}
+}
+
+// BenchmarkSimScheduleDeep keeps 1024 events pending so every At/pop pays
+// realistic sift depths rather than the trivial single-element case.
+func BenchmarkSimScheduleDeep(b *testing.B) {
+	const depth = 1024
+	s := NewWithCapacity(depth + 1)
+	fn := func() {}
+	t := time.Duration(0)
+	for i := 0; i < depth; i++ {
+		t += time.Millisecond
+		s.At(t, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += time.Millisecond
+		s.At(t, fn)
+		s.RunUntil(s.queue[0].at)
 	}
 }

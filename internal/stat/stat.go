@@ -182,25 +182,51 @@ func LinearFitOrigin(xs, ys []float64) (Linear, error) {
 
 // Percentile returns the q-th percentile (q in [0,100]) of xs using linear
 // interpolation between closest ranks. xs need not be sorted; a copy is made.
+// To extract several percentiles from the same data, use Percentiles, which
+// sorts once.
 func Percentile(xs []float64, q float64) (float64, error) {
-	if len(xs) == 0 {
-		return 0, ErrInsufficientData
+	vs, err := Percentiles(xs, q)
+	if err != nil {
+		return 0, err
 	}
-	if q < 0 || q > 100 {
-		return 0, errors.New("stat: percentile out of range")
+	return vs[0], nil
+}
+
+// Percentiles returns the qs-th percentiles (each in [0,100]) of xs using
+// linear interpolation between closest ranks, copying and sorting xs exactly
+// once regardless of how many quantiles are requested. Results are in the
+// same order as qs.
+func Percentiles(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrInsufficientData
+	}
+	for _, q := range qs {
+		if q < 0 || q > 100 {
+			return nil, errors.New("stat: percentile out of range")
+		}
 	}
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = percentileSorted(s, q)
+	}
+	return out, nil
+}
+
+// percentileSorted interpolates the q-th percentile of an already-sorted,
+// non-empty slice.
+func percentileSorted(s []float64, q float64) float64 {
 	if len(s) == 1 {
-		return s[0], nil
+		return s[0]
 	}
 	rank := q / 100 * float64(len(s)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s[lo], nil
+		return s[lo]
 	}
 	frac := rank - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac, nil
+	return s[lo]*(1-frac) + s[hi]*frac
 }

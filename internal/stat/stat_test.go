@@ -241,3 +241,84 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	got, err := Percentiles(xs, 0, 25, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{15, 20, 35, 50}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-9) {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Percentiles(nil, 50); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := Percentiles(xs, 50, 101); err == nil {
+		t.Error("expected error on out-of-range q")
+	}
+	if got, err := Percentiles(xs); err != nil || len(got) != 0 {
+		t.Errorf("Percentiles with no qs = %v, %v; want empty, nil", got, err)
+	}
+	// Input must not be mutated (no in-place sort).
+	shuffled := []float64{9, 1, 5}
+	if _, err := Percentiles(shuffled, 50); err != nil {
+		t.Fatal(err)
+	}
+	if shuffled[0] != 9 || shuffled[1] != 1 || shuffled[2] != 5 {
+		t.Errorf("Percentiles mutated its input: %v", shuffled)
+	}
+}
+
+// Property: Percentiles agrees with Percentile called per quantile.
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	qs := []float64{0, 10, 33.3, 50, 66.6, 90, 95, 99, 100}
+	got, err := Percentiles(xs, qs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, err := Percentile(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("Percentiles[%v] = %v, Percentile = %v", q, got[i], want)
+		}
+	}
+}
+
+// BenchmarkPercentiles2 vs BenchmarkPercentileTwice: the single-sort path
+// Latency.Snapshot now uses versus the old two-sort behaviour.
+func BenchmarkPercentiles2(b *testing.B) {
+	xs := make([]float64, 512)
+	for i := range xs {
+		xs[i] = float64((i * 7919) % 512)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Percentiles(xs, 50, 95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPercentileTwice(b *testing.B) {
+	xs := make([]float64, 512)
+	for i := range xs {
+		xs[i] = float64((i * 7919) % 512)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Percentile(xs, 50); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Percentile(xs, 95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
