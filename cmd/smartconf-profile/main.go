@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"smartconf/internal/core"
 	"smartconf/internal/experiments"
@@ -39,8 +40,13 @@ func main() {
 	p, ok := profilers[*issue]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown or missing -issue %q; choose one of:\n", *issue)
-		for id, pr := range profilers {
-			fmt.Fprintf(os.Stderr, "  %s (%s)\n", id, pr.conf)
+		ids := make([]string, 0, len(profilers))
+		for id := range profilers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(os.Stderr, "  %s (%s)\n", id, profilers[id].conf)
 		}
 		os.Exit(2)
 	}

@@ -99,23 +99,23 @@ type AlertFunc func(Alert)
 type Conf struct {
 	mu   sync.Mutex
 	name string
-	ctrl *core.Controller
+	ctrl *core.Controller // guardedby: mu
 
-	pending    float64 // latest measurement, consumed by Conf()
-	hasPending bool
-	lastValue  float64
+	pending    float64 // guardedby: mu — latest measurement, consumed by Conf()
+	hasPending bool    // guardedby: mu
+	lastValue  float64 // guardedby: mu
 
 	alert          AlertFunc
 	alertThreshold int
-	alertFired     bool
+	alertFired     bool // guardedby: mu
 
 	trace    TraceFunc
-	traceSeq int
+	traceSeq int // guardedby: mu
 
 	adaptiveEnabled bool
 
 	profiling bool
-	collector *core.Collector
+	collector *core.Collector // guardedby: mu
 }
 
 // New constructs a standalone Conf from a Spec and a Profile: the controller

@@ -242,9 +242,7 @@ func AblationAdaptiveModel() AdaptiveAblation {
 		if adaptive {
 			label = "adaptive"
 		}
-		return engine.Memo(engine.Key{
-			Scenario: "HB3813", Policy: label, Schedule: "ablation-adaptive",
-		}, func() adaptiveRun {
+		return memoKeyed("HB3813", label, "ablation-adaptive", 0, func() adaptiveRun {
 			ic, err := smartconf.NewIndirect(smartconf.Spec{
 				Name:   "ipc.server.max.queue.size",
 				Metric: "memory_consumption",
@@ -309,32 +307,30 @@ func AblationProfilingDepth() []ProfilingDepthRow {
 		{4, 10}, {4, 3}, {2, 3}, {1, 10},
 	}
 	return engine.MapSlice(plans, func(plan struct{ settings, samples int }) ProfilingDepthRow {
-		return engine.Memo(engine.Key{
-			Scenario: "HB3813",
-			Policy:   fmt.Sprintf("settings=%d samples=%d", plan.settings, plan.samples),
-			Schedule: "ablation-depth",
-		}, func() ProfilingDepthRow {
-			sub := subsampleProfile(full, plan.settings, plan.samples)
-			row := ProfilingDepthRow{Settings: plan.settings, Samples: plan.samples}
-			ic, err := smartconf.NewIndirect(smartconf.Spec{
-				Name:   "ipc.server.max.queue.size",
-				Metric: "memory_consumption",
-				Goal:   float64(rpcMemoryGoal),
-				Hard:   true,
-				Min:    0, Max: 5000,
-			}, publicProfile(sub), nil)
-			if err != nil {
-				row.SynthesisErr = err.Error()
+		return memoKeyed("HB3813",
+			fmt.Sprintf("settings=%d samples=%d", plan.settings, plan.samples),
+			"ablation-depth", 0, func() ProfilingDepthRow {
+				sub := subsampleProfile(full, plan.settings, plan.samples)
+				row := ProfilingDepthRow{Settings: plan.settings, Samples: plan.samples}
+				ic, err := smartconf.NewIndirect(smartconf.Spec{
+					Name:   "ipc.server.max.queue.size",
+					Metric: "memory_consumption",
+					Goal:   float64(rpcMemoryGoal),
+					Hard:   true,
+					Min:    0, Max: 5000,
+				}, publicProfile(sub), nil)
+				if err != nil {
+					row.SynthesisErr = err.Error()
+					return row
+				}
+				r := runHB3813Custom(func(heapUsed float64, queueLen int) int {
+					ic.SetPerf(heapUsed, float64(queueLen))
+					return ic.Conf()
+				})
+				row.ConstraintMet = r.ConstraintMet
+				row.Throughput = r.Tradeoff
 				return row
-			}
-			r := runHB3813Custom(func(heapUsed float64, queueLen int) int {
-				ic.SetPerf(heapUsed, float64(queueLen))
-				return ic.Conf()
 			})
-			row.ConstraintMet = r.ConstraintMet
-			row.Throughput = r.Tradeoff
-			return row
-		})
 	})
 }
 

@@ -156,9 +156,8 @@ func RenderSLA(results []SLAResult) string {
 func BuildSLAComparison() []SLAResult {
 	policies := []Policy{SmartConf(), Static(30), Static(90), Static(180), Static(400)}
 	return engine.MapSlice(policies, func(p Policy) SLAResult {
-		return engine.Memo(engine.Key{
-			Scenario: "SLA", Policy: policyKey(p), Schedule: "sla",
-		}, func() SLAResult { return RunSLAScenario(p) })
+		return memoKeyed("SLA", policyKey(p), "sla", 0,
+			func() SLAResult { return RunSLAScenario(p) })
 	})
 }
 
@@ -185,9 +184,8 @@ type DistributedResult struct {
 // RunDistributedHB3813 runs nodes RPC servers behind a skewed balancer, one
 // controller per node. Memoized per cluster size.
 func RunDistributedHB3813(nodes int) DistributedResult {
-	return engine.Memo(engine.Key{
-		Scenario: "HB3813", Policy: fmt.Sprintf("nodes=%d", nodes), Schedule: "distributed",
-	}, func() DistributedResult { return runDistributedHB3813(nodes) })
+	return memoKeyed("HB3813", fmt.Sprintf("nodes=%d", nodes), "distributed", 0,
+		func() DistributedResult { return runDistributedHB3813(nodes) })
 }
 
 func runDistributedHB3813(nodes int) DistributedResult {

@@ -204,11 +204,8 @@ func BuildFigure8() Figure8 {
 // (n = 1 is the naive-composition ablation). Runs are memoized so the
 // interaction-factor ablation shares the figure's N=2 run.
 func buildFigure8(n int) Figure8 {
-	return engine.Memo(engine.Key{
-		Scenario: "HB3813+HB6728",
-		Policy:   fmt.Sprintf("N=%d", n),
-		Schedule: "figure8",
-	}, func() Figure8 { return buildFigure8Uncached(n) })
+	return memoKeyed("HB3813+HB6728", fmt.Sprintf("N=%d", n), "figure8", 0,
+		func() Figure8 { return buildFigure8Uncached(n) })
 }
 
 func buildFigure8Uncached(n int) Figure8 {

@@ -57,12 +57,9 @@ func RobustnessGrid() []RobustnessCell {
 func RunRobustnessSweep() []RobustnessCell {
 	profile := ProfileHB3813()
 	return engine.MapSlice(RobustnessGrid(), func(cell RobustnessCell) RobustnessCell {
-		return engine.Memo(engine.Key{
-			Scenario: "HB3813",
-			Policy: fmt.Sprintf("burst=%d every=%g req=%g writes=%g",
-				cell.BurstSize, cell.BurstEverySec, cell.RequestMB, cell.WriteRatio),
-			Schedule: "robustness",
-		}, func() RobustnessCell {
+		policy := fmt.Sprintf("burst=%d every=%g req=%g writes=%g",
+			cell.BurstSize, cell.BurstEverySec, cell.RequestMB, cell.WriteRatio)
+		return memoKeyed("HB3813", policy, "robustness", 0, func() RobustnessCell {
 			return runRobustnessCell(publicProfile(profile), cell)
 		})
 	})

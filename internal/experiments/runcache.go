@@ -45,6 +45,16 @@ func runCached(sc Scenario, p Policy) Result {
 // schedule tag — used by the ablation and figure drivers whose workloads
 // deviate from the scenario's standard one.
 func memoResult(scenario, policy, schedule string, seed int64, run func() Result) Result {
+	return memoKeyed(scenario, policy, schedule, seed, run)
+}
+
+// memoKeyed memoizes an arbitrary typed run under the full
+// (scenario, policy, seed, schedule) tuple — the generic adapter behind
+// drivers whose cached value is not a plain Result (ablation rows,
+// extension summaries, whole figures). Keeping every engine.Memo call in
+// this file is the cachekey invariant smartconf-vet enforces: the key
+// discipline lives in one audited place instead of at each driver.
+func memoKeyed[T any](scenario, policy, schedule string, seed int64, run func() T) T {
 	return engine.Memo(engine.Key{Scenario: scenario, Policy: policy, Seed: seed, Schedule: schedule}, run)
 }
 

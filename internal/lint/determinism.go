@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterminismPackages lists the import-path prefixes of simulation-reachable
+// code: everything a deterministic experiment run may execute. Tests override
+// this to point at testdata.
+var DeterminismPackages = []string{
+	"smartconf/internal/sim",
+	"smartconf/internal/rpcserver",
+	"smartconf/internal/kvstore",
+	"smartconf/internal/dfs",
+	"smartconf/internal/mapred",
+	"smartconf/internal/memsim",
+	"smartconf/internal/disksim",
+	"smartconf/internal/llmserve",
+	"smartconf/internal/workload",
+	"smartconf/internal/experiments",
+	// Not simulation code, but on the deterministic-artifact path the golden
+	// byte-identity tests protect: the system/goals file layer, the Table 1-5
+	// study data, and the artifact-rendering commands.
+	"smartconf/internal/sysfile",
+	"smartconf/internal/study",
+	"smartconf/cmd",
+}
+
+// globalRandFuncs are the math/rand package-level functions that consume the
+// shared global source. Constructors (New, NewSource, NewZipf) are fine —
+// they are exactly how seeded determinism is achieved.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions, should it ever appear.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint": true, "N": true,
+}
+
+// DeterminismAnalyzer enforces the reproducibility contract of
+// simulation-reachable packages: simulated time comes from the simulation
+// clock, randomness flows from an explicitly seeded *rand.Rand, and nothing
+// observable is produced in map-iteration order.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbids wall-clock reads, global math/rand, and order-dependent " +
+		"map iteration in simulation-reachable packages",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !pathMatchesPrefix(pass.Pkg.Path(), DeterminismPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func pathMatchesPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFunc resolves a call's callee to (package path, function name) when it
+// is a package-level function of an imported package.
+func pkgFunc(info *types.Info, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return "", ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	path, name := pkgFunc(pass.Info, call)
+	switch path {
+	case "time":
+		if name == "Now" || name == "Since" || name == "Until" {
+			pass.Reportf(call.Pos(),
+				"wall-clock time.%s in simulation-reachable code; derive timestamps from the simulation clock", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[name] {
+			pass.Reportf(call.Pos(),
+				"global rand.%s draws from the process-wide source; use an explicitly seeded *rand.Rand", name)
+		}
+	}
+}
+
+// checkMapRanges flags `range` over a map whose body produces observable,
+// order-dependent effects: appending to a slice declared outside the loop
+// (unless that slice is deterministically sorted later in the same
+// function), printing, or accumulating floats (float addition is not
+// associative, so the sum depends on iteration order).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if path, name := pkgFunc(pass.Info, n); path == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				pass.Reportf(n.Pos(),
+					"fmt.%s inside range over a map emits output in nondeterministic order; iterate sorted keys", name)
+				return true
+			}
+			if obj := calleeObj(pass.Info, n); obj != nil && obj.Name() == "append" && obj.Pkg() == nil {
+				checkMapRangeAppend(pass, fnBody, rng, n)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if obj := declaredOutside(pass.Info, lhs, rng); obj != nil && isFloat(obj.Type()) {
+						pass.Reportf(n.Pos(),
+							"float accumulation over map iteration: %s depends on iteration order (float addition is not associative); iterate sorted keys", obj.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAppend flags append(dst, ...) where dst is declared outside
+// the map-range loop and is never passed to a sort.* / slices.Sort* call
+// after the loop in the same function body.
+func checkMapRangeAppend(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	obj := declaredOutside(pass.Info, call.Args[0], rng)
+	if obj == nil {
+		return
+	}
+	if sortedAfter(pass, fnBody, rng, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"append to %s inside range over a map accumulates elements in nondeterministic order; sort %s afterwards or iterate sorted keys", obj.Name(), obj.Name())
+}
+
+// declaredOutside resolves expr to a variable object declared lexically
+// outside the range statement (nil otherwise).
+func declaredOutside(info *types.Info, expr ast.Expr, rng *ast.RangeStmt) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil || obj.Pos() == token.NoPos {
+		return nil
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+		return nil // loop-local
+	}
+	return obj
+}
+
+// sortedAfter reports whether obj is an argument of a sort.*/slices.Sort*
+// call positioned after the range loop within the function body.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		path, name := pkgFunc(pass.Info, call)
+		isSort := path == "sort" || (path == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

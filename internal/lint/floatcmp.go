@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpPackages are the exact import paths whose floating-point math is
+// held to the tolerance rule: the controller core, the statistics helpers,
+// and the public API package. Tests override this to point at testdata.
+var FloatCmpPackages = []string{
+	"smartconf",
+	"smartconf/internal/core",
+	"smartconf/internal/stat",
+}
+
+// FloatCmpAnalyzer flags ==/!= between floating-point operands in controller
+// and statistics math. Convergence and change-detection checks on computed
+// floats must use a tolerance (e.g. math.Abs(a-b) <= eps): exact equality on
+// the results of float arithmetic is representation-dependent and breaks the
+// reproducibility story the moment the math is reordered.
+//
+// One shape is exempt: comparison against an exact constant zero. A zero
+// guard before a division (`if sigma == 0`) tests for the one float value
+// that is exactly representable and semantically special; replacing it with
+// an epsilon would change behavior.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbids ==/!= on floating-point operands in controller/stat math; " +
+		"use tolerances (exact-zero sentinel guards excepted)",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	applies := false
+	for _, p := range FloatCmpPackages {
+		if pass.Pkg.Path() == p {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(exprType(pass, bin.X)) && !isFloat(exprType(pass, bin.Y)) {
+				return true
+			}
+			if isExactZero(pass, bin.X) || isExactZero(pass, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.Pos(),
+				"floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) — exact equality only survives bit-identical arithmetic", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func exprType(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isExactZero reports whether e is a compile-time constant equal to zero.
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}

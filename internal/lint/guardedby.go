@@ -1,0 +1,368 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GuardedByAnalyzer checks `// guardedby: mu` field annotations: a field so
+// annotated may only be accessed through the receiver while the named mutex
+// (a sibling field) is held in the enclosing method.
+//
+// The check is deliberately conservative and intra-procedural:
+//
+//   - state is tracked linearly through the method body: recv.mu.Lock() /
+//     RLock() marks the mutex held, recv.mu.Unlock() / RUnlock() releases
+//     it, and `defer recv.mu.Unlock()` holds it to the end of the method;
+//   - methods whose name ends in "Locked" are assumed to run with every
+//     annotated mutex of the receiver held (the callee side of the
+//     lock-then-delegate convention), and *calling* a *Locked method
+//     without holding the mutexes is itself a finding;
+//   - function literals do not inherit the enclosing lock state (a closure
+//     typically outlives the critical section that created it);
+//   - plain functions (constructors building a not-yet-shared value) are
+//     not checked.
+var GuardedByAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated `// guardedby: mu` may only be accessed while " +
+		"the named mutex is held in the enclosing method",
+	Run: runGuardedBy,
+}
+
+// guardSpec records the annotations of one struct type.
+type guardSpec struct {
+	fields  map[string]string // field name → guarding mutex field name
+	mutexes map[string]bool   // distinct mutex names, for *Locked methods
+}
+
+const guardedByMarker = "guardedby:"
+
+func runGuardedBy(pass *Pass) error {
+	specs := collectGuardSpecs(pass)
+	if len(specs) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			checkGuardedMethod(pass, specs, fn)
+		}
+	}
+	return nil
+}
+
+// collectGuardSpecs finds every struct field annotated `// guardedby: mu`,
+// keyed by the struct's type name object.
+func collectGuardSpecs(pass *Pass) map[*types.TypeName]*guardSpec {
+	specs := map[*types.TypeName]*guardSpec{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				spec := specs[obj]
+				if spec == nil {
+					spec = &guardSpec{fields: map[string]string{}, mutexes: map[string]bool{}}
+					specs[obj] = spec
+				}
+				for _, name := range field.Names {
+					spec.fields[name.Name] = mu
+				}
+				spec.mutexes[mu] = true
+			}
+			return true
+		})
+	}
+	return specs
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment ("" when unannotated).
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimLeft(c.Text, "/* "))
+			if i := strings.Index(text, guardedByMarker); i >= 0 {
+				name := strings.TrimSpace(text[i+len(guardedByMarker):])
+				if f := strings.Fields(name); len(f) > 0 {
+					return f[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// lockTracker is the per-method linear lock-state machine.
+type lockTracker struct {
+	pass      *Pass
+	spec      *guardSpec
+	recv      types.Object    // the receiver variable
+	held      map[string]bool // mutex name → currently held
+	heldToEnd map[string]bool // mutex name → held via defer until return
+}
+
+func checkGuardedMethod(pass *Pass, specs map[*types.TypeName]*guardSpec, fn *ast.FuncDecl) {
+	def, ok := pass.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := def.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return
+	}
+	recvType := sig.Recv().Type()
+	if ptr, ok := recvType.(*types.Pointer); ok {
+		recvType = ptr.Elem()
+	}
+	named, ok := recvType.(*types.Named)
+	if !ok {
+		return
+	}
+	spec := specs[named.Obj()]
+	if spec == nil {
+		return
+	}
+	var recvObj types.Object
+	if len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		recvObj = pass.Info.Defs[fn.Recv.List[0].Names[0]]
+	}
+	if recvObj == nil {
+		return // anonymous receiver cannot touch fields
+	}
+	t := &lockTracker{
+		pass:      pass,
+		spec:      spec,
+		recv:      recvObj,
+		held:      map[string]bool{},
+		heldToEnd: map[string]bool{},
+	}
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		for mu := range spec.mutexes {
+			t.held[mu] = true
+			t.heldToEnd[mu] = true
+		}
+	}
+	t.walkStmts(fn.Body.List)
+}
+
+func (t *lockTracker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		t.walkStmt(s)
+	}
+}
+
+// walkStmt advances the state machine through one statement in source order,
+// recursing into nested control flow. State changes inside a branch
+// propagate past it — linear, not path-sensitive, which errs toward
+// reporting only when no path evidence of locking exists at all.
+func (t *lockTracker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && t.applyLockOp(call, false) {
+			return
+		}
+		t.checkExpr(s.X)
+	case *ast.DeferStmt:
+		if t.applyLockOp(s.Call, true) {
+			return
+		}
+		t.checkExpr(s.Call)
+	case *ast.BlockStmt:
+		t.walkStmts(s.List)
+	case *ast.IfStmt:
+		t.walkStmt(s.Init)
+		t.checkExpr(s.Cond)
+		t.walkStmts(s.Body.List)
+		t.walkStmt(s.Else)
+	case *ast.ForStmt:
+		t.walkStmt(s.Init)
+		t.checkExpr(s.Cond)
+		t.walkStmts(s.Body.List)
+		t.walkStmt(s.Post)
+	case *ast.RangeStmt:
+		t.checkExpr(s.Key)
+		t.checkExpr(s.Value)
+		t.checkExpr(s.X)
+		t.walkStmts(s.Body.List)
+	case *ast.SwitchStmt:
+		t.walkStmt(s.Init)
+		t.checkExpr(s.Tag)
+		t.walkStmts(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		t.walkStmt(s.Init)
+		t.walkStmt(s.Assign)
+		t.walkStmts(s.Body.List)
+	case *ast.SelectStmt:
+		t.walkStmts(s.Body.List)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			t.checkExpr(e)
+		}
+		t.walkStmts(s.Body)
+	case *ast.CommClause:
+		t.walkStmt(s.Comm)
+		t.walkStmts(s.Body)
+	case *ast.LabeledStmt:
+		t.walkStmt(s.Stmt)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			t.checkExpr(e)
+		}
+		for _, e := range s.Lhs {
+			t.checkExpr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			t.checkExpr(e)
+		}
+	case *ast.GoStmt:
+		// The goroutine runs after the critical section: its body is
+		// checked with no lock held (via the FuncLit rule in checkExpr).
+		t.checkExpr(s.Call)
+	case *ast.IncDecStmt:
+		t.checkExpr(s.X)
+	case *ast.SendStmt:
+		t.checkExpr(s.Chan)
+		t.checkExpr(s.Value)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						t.checkExpr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// applyLockOp recognizes recv.<mu>.{Lock,RLock,Unlock,RUnlock}() and updates
+// the state; it reports whether the call was a lock operation.
+func (t *lockTracker) applyLockOp(call *ast.CallExpr, deferred bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	op := sel.Sel.Name
+	if op != "Lock" && op != "RLock" && op != "Unlock" && op != "RUnlock" {
+		return false
+	}
+	muSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recvIdent, ok := muSel.X.(*ast.Ident)
+	if !ok || t.pass.Info.Uses[recvIdent] != t.recv {
+		return false
+	}
+	mu := muSel.Sel.Name
+	if !t.spec.mutexes[mu] {
+		return false
+	}
+	switch op {
+	case "Lock", "RLock":
+		t.held[mu] = true
+	case "Unlock", "RUnlock":
+		if deferred {
+			t.heldToEnd[mu] = true
+		} else if !t.heldToEnd[mu] {
+			t.held[mu] = false
+		}
+	}
+	return true
+}
+
+// checkExpr scans an expression for guarded-field accesses and *Locked
+// delegate calls under the current lock state. Function literals are
+// re-entered with an empty state of their own.
+func (t *lockTracker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := &lockTracker{
+				pass:      t.pass,
+				spec:      t.spec,
+				recv:      t.recv,
+				held:      map[string]bool{},
+				heldToEnd: map[string]bool{},
+			}
+			inner.walkStmts(n.Body.List)
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && t.pass.Info.Uses[id] == t.recv &&
+					strings.HasSuffix(sel.Sel.Name, "Locked") && !t.allHeld() {
+					t.pass.Reportf(n.Pos(),
+						"call to %s without holding %s", sel.Sel.Name, t.mutexList())
+				}
+			}
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok || t.pass.Info.Uses[id] != t.recv {
+				return true
+			}
+			if mu, guarded := t.spec.fields[n.Sel.Name]; guarded && !t.held[mu] {
+				t.pass.Reportf(n.Pos(),
+					"field %s is annotated `guardedby: %s` but accessed without holding %s.%s",
+					n.Sel.Name, mu, id.Name, mu)
+			}
+		}
+		return true
+	})
+}
+
+func (t *lockTracker) allHeld() bool {
+	for mu := range t.spec.mutexes {
+		if !t.held[mu] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *lockTracker) mutexList() string {
+	var names []string
+	for mu := range t.spec.mutexes {
+		if !t.held[mu] {
+			names = append(names, mu)
+		}
+	}
+	if len(names) > 1 {
+		// Deterministic message regardless of map order.
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				if names[j] < names[i] {
+					names[i], names[j] = names[j], names[i]
+				}
+			}
+		}
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,201 @@
+package lint_test
+
+import (
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"smartconf/internal/lint"
+)
+
+// The golden tests load packages from testdata/src/<path> under the
+// synthetic import prefix lint.test/ and compare analyzer output against
+// `// want "substring"` comments: every diagnostic must match a want on its
+// line, and every want must be matched by a diagnostic. Each testdata
+// package also carries one //smartconf:allow case proving the suppression
+// escape hatch.
+
+const testPathPrefix = "lint.test/"
+
+// testImporter resolves lint.test/... import paths from testdata/src and
+// delegates everything else (the standard library) to the source importer.
+type testImporter struct {
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*lint.Package
+}
+
+func newTestImporter(fset *token.FileSet) *testImporter {
+	return &testImporter{
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*lint.Package{},
+	}
+}
+
+func (ti *testImporter) Import(path string) (*types.Package, error) {
+	if !strings.HasPrefix(path, testPathPrefix) {
+		return ti.std.Import(path)
+	}
+	pkg, err := ti.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+func (ti *testImporter) load(path string) (*lint.Package, error) {
+	if pkg, ok := ti.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(strings.TrimPrefix(path, testPathPrefix)))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	pkg, err := lint.CheckFiles(ti.fset, ti, path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	ti.pkgs[path] = pkg
+	return pkg, nil
+}
+
+var quoteRx = regexp.MustCompile(`"([^"]*)"`)
+
+type expectation struct {
+	substr  string
+	matched bool
+}
+
+// collectWants indexes `// want "..." ["..."]...` comments by file basename
+// and line.
+func collectWants(pkg *lint.Package) map[string]map[int][]*expectation {
+	wants := map[string]map[int][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				base := filepath.Base(pos.Filename)
+				if wants[base] == nil {
+					wants[base] = map[int][]*expectation{}
+				}
+				for _, m := range quoteRx.FindAllStringSubmatch(text, -1) {
+					wants[base][pos.Line] = append(wants[base][pos.Line], &expectation{substr: m[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runAnalyzerTest checks one analyzer against one testdata package: the
+// diagnostics and the want comments must match exactly, in both directions.
+func runAnalyzerTest(t *testing.T, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := newTestImporter(fset).load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+	diags, err := lint.Check(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("checking %s: %v", pkgPath, err)
+	}
+	wants := collectWants(pkg)
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		found := false
+		for _, e := range wants[base][d.Pos.Line] {
+			if !e.matched && strings.Contains(d.Message, e.substr) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for base, lines := range wants {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: expected a diagnostic containing %q, got none", base, line, e.substr)
+				}
+			}
+		}
+	}
+}
+
+// swap temporarily overrides an analyzer configuration variable, returning
+// the restore function.
+func swap[T any](p *T, v T) func() {
+	old := *p
+	*p = v
+	return func() { *p = old }
+}
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	defer swap(&lint.DeterminismPackages, []string{"lint.test/determinism"})()
+	runAnalyzerTest(t, lint.DeterminismAnalyzer, "lint.test/determinism/sim")
+}
+
+func TestCacheKeyAnalyzer(t *testing.T) {
+	defer swap(&lint.ExperimentsPath, "lint.test/cachekey/experiments")()
+	defer swap(&lint.EnginePathSuffix, "cachekey/engine")()
+	runAnalyzerTest(t, lint.CacheKeyAnalyzer, "lint.test/cachekey/experiments")
+}
+
+func TestFloatCmpAnalyzer(t *testing.T) {
+	defer swap(&lint.FloatCmpPackages, []string{"lint.test/floatcmp"})()
+	runAnalyzerTest(t, lint.FloatCmpAnalyzer, "lint.test/floatcmp")
+}
+
+func TestGuardedByAnalyzer(t *testing.T) {
+	runAnalyzerTest(t, lint.GuardedByAnalyzer, "lint.test/guardedby")
+}
+
+// TestAnalyzersOutsideScopedPackagesAreSilent pins the package scoping: the
+// path-scoped analyzers must not fire on packages outside their configured
+// lists, however many violations those packages contain.
+func TestAnalyzersOutsideScopedPackagesAreSilent(t *testing.T) {
+	defer swap(&lint.DeterminismPackages, []string{"lint.test/nonexistent"})()
+	defer swap(&lint.FloatCmpPackages, []string{"lint.test/nonexistent"})()
+	for _, tc := range []struct {
+		a    *lint.Analyzer
+		path string
+	}{
+		{lint.DeterminismAnalyzer, "lint.test/determinism/sim"},
+		{lint.FloatCmpAnalyzer, "lint.test/floatcmp"},
+	} {
+		fset := token.NewFileSet()
+		pkg, err := newTestImporter(fset).load(tc.path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", tc.path, err)
+		}
+		diags, err := lint.Check(pkg, []*lint.Analyzer{tc.a})
+		if err != nil {
+			t.Fatalf("checking %s: %v", tc.path, err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s on out-of-scope %s: got %d diagnostics, want 0 (first: %s)",
+				tc.a.Name, tc.path, len(diags), diags[0])
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package engine is a miniature stand-in for the real run-cache engine:
+// just enough surface for the cachekey-analyzer testdata to typecheck.
+package engine
+
+// Key mirrors the real cache key: scenario, policy, seed, schedule.
+type Key struct {
+	Scenario string
+	Policy   string
+	Seed     int64
+	Schedule string
+}
+
+// Memo mirrors the real memoizing entry point.
+func Memo[T any](k Key, compute func() T) T {
+	return compute()
+}

@@ -1,0 +1,20 @@
+// Package experiments is cachekey-analyzer golden testdata, shaped like the
+// real experiments package: Scenario/Policy/Result types, a scenario entry
+// point, a runcache.go adapter file, and drivers that do (and do not) honor
+// the run-cache discipline.
+package experiments
+
+type Policy struct{ Level int }
+
+type Result struct{ Cost float64 }
+
+type Scenario struct {
+	ID  string
+	Run func(Policy) Result
+}
+
+// RunHB3813 has the scenario entry-point shape func(Policy) Result, so
+// calling it outside a memoized closure is a finding.
+func RunHB3813(p Policy) Result {
+	return Result{Cost: float64(p.Level)}
+}

@@ -1,0 +1,84 @@
+// Package sim is determinism-analyzer golden testdata: each `want` comment
+// pins one diagnostic the analyzer must produce, and the unsuffixed
+// functions pin shapes it must NOT flag.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Wall() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now"
+}
+
+func Elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want "wall-clock time.Since"
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want "global rand.Intn"
+}
+
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle"
+}
+
+// SeededRand is the sanctioned pattern: the constructors rand.New and
+// rand.NewSource must not be flagged — they are how seeds flow in.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func EmitUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over a map"
+	}
+	return out
+}
+
+// EmitSorted is clean: the appended slice is sorted after the loop, which
+// erases the iteration order.
+func EmitSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside range over a map"
+	}
+}
+
+func SumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation over map iteration"
+	}
+	return sum
+}
+
+// CountInts is clean: integer accumulation is associative, so iteration
+// order cannot change the result.
+func CountInts(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// AllowedWall proves the suppression escape hatch: the allow comment names
+// the analyzer and records a reason, so the finding is silenced.
+func AllowedWall() int64 {
+	//smartconf:allow determinism -- timestamping a log file name is not simulation-visible
+	return time.Now().UnixNano()
+}

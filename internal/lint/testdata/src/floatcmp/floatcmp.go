@@ -1,0 +1,37 @@
+// Package floatcmp is floatcmp-analyzer golden testdata.
+package floatcmp
+
+func Converged(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func Changed(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func NonZeroConst(x float64) bool {
+	return x == 0.5 // want "floating-point == comparison"
+}
+
+// ZeroGuard is clean: comparison against an exact constant zero is the one
+// float value that is exactly representable and semantically special
+// (division guards, uninitialized sentinels).
+func ZeroGuard(x float64) bool {
+	return x == 0
+}
+
+// IntsAreFine is clean: the rule only concerns floating-point operands.
+func IntsAreFine(a, b int) bool { return a == b }
+
+// Suppressed proves the escape hatch for deliberate bitwise comparison.
+func Suppressed(a, b float64) bool {
+	//smartconf:allow floatcmp -- bit-identical comparison is the point of this check
+	return a == b
+}
+
+// MalformedSuppression lacks the mandatory `-- reason` tail, so the allow
+// comment is inert and the finding still fires.
+func MalformedSuppression(a, b float64) bool {
+	//smartconf:allow floatcmp
+	return a == b // want "floating-point == comparison"
+}

@@ -1,0 +1,82 @@
+// Package guardedby is guardedby-analyzer golden testdata.
+package guardedby
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int // guardedby: mu
+}
+
+// Good holds the mutex for the whole method via defer.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) Bad() int {
+	return c.n // want "field n is annotated"
+}
+
+// AfterUnlock releases explicitly; the access after Unlock is a finding.
+func (c *Counter) AfterUnlock() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	c.n++ // want "field n is annotated"
+	return v
+}
+
+// bumpLocked follows the *Locked convention: it assumes the caller holds mu.
+func (c *Counter) bumpLocked() { c.n++ }
+
+func (c *Counter) CallsLockedWithout() {
+	c.bumpLocked() // want "call to bumpLocked without holding mu"
+}
+
+// CallsLockedWith is the legitimate lock-then-delegate shape.
+func (c *Counter) CallsLockedWith() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+// ClosureLosesLock: a function literal outlives the critical section that
+// created it, so it does not inherit the lock state.
+func (c *Counter) ClosureLosesLock() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int { return c.n } // want "field n is annotated"
+}
+
+// Suppressed proves the escape hatch for deliberately racy reads.
+func (c *Counter) Suppressed() int {
+	//smartconf:allow guardedby -- approximate snapshot read, torn values acceptable
+	return c.n
+}
+
+// RWGuard exercises the read-lock operations on an RWMutex.
+type RWGuard struct {
+	mu sync.RWMutex
+	v  float64 // guardedby: mu
+}
+
+func (g *RWGuard) Read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+func (g *RWGuard) BadRead() float64 {
+	return g.v // want "field v is annotated"
+}
+
+// Unguarded fields of an annotated struct stay unchecked.
+type Mixed struct {
+	mu   sync.Mutex
+	hot  int // guardedby: mu
+	cold int
+}
+
+func (m *Mixed) ColdIsFree() int { return m.cold }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"smartconf/internal/sysfile"
@@ -18,13 +19,13 @@ import (
 type Manager struct {
 	mu    sync.Mutex
 	sys   *sysfile.Sys
-	goals sysfile.Goals
+	goals sysfile.Goals // guardedby: mu
 	o     options
 
 	profileSource func(conf string) (*Profile, error)
 
-	confs     map[string]*Conf
-	indirects map[string]*IndirectConf
+	confs     map[string]*Conf         // guardedby: mu
+	indirects map[string]*IndirectConf // guardedby: mu
 }
 
 // ManagerOption customizes Manager construction.
@@ -100,10 +101,11 @@ func NewManagerFromFiles(sysPath, goalsPath string, opts ...ManagerOption) (*Man
 // Profiling reports whether the system file enables profiling mode.
 func (m *Manager) Profiling() bool { return m.sys.Profiling }
 
-// spec assembles the Spec for one configuration from the two files,
+// specLocked assembles the Spec for one configuration from the two files,
 // including the §5.4 interaction factor for super-hard goals (counted over
 // the system file's bindings, whether or not the siblings are open yet).
-func (m *Manager) spec(name string) (Spec, error) {
+// Callers must hold m.mu (it reads the live goals table).
+func (m *Manager) specLocked(name string) (Spec, error) {
 	b, ok := m.sys.Binding(name)
 	if !ok {
 		return Spec{}, fmt.Errorf("smartconf: configuration %q not in system file", name)
@@ -151,7 +153,7 @@ func (m *Manager) Conf(name string) (*Conf, error) {
 	if _, ok := m.indirects[name]; ok {
 		return nil, fmt.Errorf("smartconf: configuration %q already open as indirect", name)
 	}
-	spec, err := m.spec(name)
+	spec, err := m.specLocked(name)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +186,7 @@ func (m *Manager) IndirectConf(name string, t Transducer) (*IndirectConf, error)
 	if _, ok := m.confs[name]; ok {
 		return nil, fmt.Errorf("smartconf: configuration %q already open as direct", name)
 	}
-	spec, err := m.spec(name)
+	spec, err := m.specLocked(name)
 	if err != nil {
 		return nil, err
 	}
@@ -254,19 +256,23 @@ func (m *Manager) ReloadGoals(r io.Reader) error {
 			m.goals[metric] = spec
 			continue
 		}
+		//smartconf:allow floatcmp -- change detection on operator-entered targets is exact by design: any edit, however small, is intentional
 		if old.Target != spec.Target {
 			old.Target = spec.Target
 			m.goals[metric] = old
 			changed = append(changed, metric)
 		}
 	}
-	targets := make(map[string]float64, len(changed))
-	for _, metric := range changed {
-		targets[metric] = m.goals[metric].Target
+	// Propagate in sorted order so map iteration does not decide the order
+	// in which configurations observe a multi-metric reload.
+	sort.Strings(changed)
+	targets := make([]float64, len(changed))
+	for i, metric := range changed {
+		targets[i] = m.goals[metric].Target
 	}
 	m.mu.Unlock()
-	for metric, target := range targets {
-		if err := m.SetGoal(metric, target); err != nil {
+	for i, metric := range changed {
+		if err := m.SetGoal(metric, targets[i]); err != nil {
 			return err
 		}
 	}
@@ -292,13 +298,24 @@ func (m *Manager) FlushProfiles(dir string) error {
 		defer f.Close()
 		return p.Write(f)
 	}
-	for name, c := range m.confs {
-		if err := flush(name, c.CollectedProfile()); err != nil {
-			return fmt.Errorf("smartconf: flushing profile for %q: %w", name, err)
-		}
+	// Flush in sorted name order so the first error to surface (and the
+	// file-creation order) does not depend on map iteration.
+	names := make([]string, 0, len(m.confs)+len(m.indirects))
+	for name := range m.confs {
+		names = append(names, name)
 	}
-	for name, ic := range m.indirects {
-		if err := flush(name, ic.CollectedProfile()); err != nil {
+	for name := range m.indirects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := (*Profile)(nil)
+		if c, ok := m.confs[name]; ok {
+			p = c.CollectedProfile()
+		} else {
+			p = m.indirects[name].CollectedProfile()
+		}
+		if err := flush(name, p); err != nil {
 			return fmt.Errorf("smartconf: flushing profile for %q: %w", name, err)
 		}
 	}

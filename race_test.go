@@ -1,9 +1,12 @@
 package smartconf
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"smartconf/internal/experiments/engine"
 )
 
 // TestConcurrentControlLoopIsRaceFree hammers one Manager from the three
@@ -66,4 +69,53 @@ func TestConcurrentControlLoopIsRaceFree(t *testing.T) {
 	if v := c.Value(); v < 0 || v > 5000 {
 		t.Errorf("setting %v escaped [min, max] under concurrency", v)
 	}
+}
+
+// TestConcurrentEngineMapMemoIsRaceFree drives the parallel experiment
+// engine the way a busy artifact build does — Map fan-outs whose jobs go
+// through the memoized run cache and fan out again themselves — while a
+// maintenance goroutine races ResetCache and Stats against them, so `go
+// test -race` pins the engine's thread-safety contract alongside the
+// controller's. Each memoized value depends only on its key, so the results
+// must be correct whether a given job hit the cache, computed fresh, or had
+// its entry dropped mid-flight by a concurrent reset.
+func TestConcurrentEngineMapMemoIsRaceFree(t *testing.T) {
+	prev := engine.SetWorkers(8)
+	defer engine.SetWorkers(prev)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			engine.ResetCache()
+			engine.Stats()
+			_ = engine.CacheLen()
+		}
+	}()
+
+	for round := 0; round < 25; round++ {
+		seed := int64(round)
+		got := engine.Map(16, func(i int) int {
+			key := engine.Key{Scenario: "race", Policy: fmt.Sprintf("p%d", i%4), Seed: seed, Schedule: "unit"}
+			return engine.Memo(key, func() int {
+				inner := engine.Map(4, func(j int) int { return j })
+				return (i % 4) * len(inner)
+			})
+		})
+		for i, v := range got {
+			if want := (i % 4) * 4; v != want {
+				t.Fatalf("round %d: Map[%d] = %d, want %d (cache returned a value computed for a different key)",
+					round, i, v, want)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -1,5 +1,7 @@
 package smartconf
 
+import "sort"
+
 // Snapshot is a point-in-time diagnostic view of a configuration — what an
 // operator dashboard or a support bundle captures. All fields are plain
 // values; the struct marshals cleanly with encoding/json.
@@ -50,16 +52,28 @@ func (ic *IndirectConf) Snapshot() Snapshot {
 }
 
 // Snapshots captures every open configuration under the Manager, sorted by
-// opening order within each kind (direct first, then indirect).
+// name within each kind (direct first, then indirect), so a support bundle
+// taken twice from the same state is byte-identical.
 func (m *Manager) Snapshots() []Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]Snapshot, 0, len(m.confs)+len(m.indirects))
-	for _, c := range m.confs {
-		out = append(out, c.Snapshot())
+	for _, name := range sortedKeys(m.confs) {
+		out = append(out, m.confs[name].Snapshot())
 	}
-	for _, ic := range m.indirects {
-		out = append(out, ic.Snapshot())
+	for _, name := range sortedKeys(m.indirects) {
+		out = append(out, m.indirects[name].Snapshot())
 	}
 	return out
+}
+
+// sortedKeys returns m's keys in sorted order: the deterministic way to
+// iterate a map whose contents feed an artifact.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
