@@ -74,13 +74,16 @@ var artifacts = map[string]func() (string, error){
 	"llmkv": func() (string, error) {
 		return experiments.RenderFigureLLMKV(experiments.BuildFigureLLMKV()), nil
 	},
+	"chaos": func() (string, error) {
+		return experiments.RenderChaos(experiments.ChaosMatrix(experiments.ChaosSeed)), nil
+	},
 }
 
 var order = []string{
 	"table2", "table3", "table4", "table5",
 	"table6", "fig5", "fig6", "fig7", "fig8", "table7",
 	"abl-pole", "abl-margin", "abl-interact", "abl-adaptive", "abl-profiling", "robustness", "abl-aimd", "ext-sla", "ext-dist",
-	"llmkv",
+	"llmkv", "chaos",
 }
 
 var titles = map[string]string{
@@ -104,6 +107,7 @@ var titles = map[string]string{
 	"ext-sla":       "Extension: p99-latency SLA goal",
 	"ext-dist":      "Extension: per-node controllers in a 4-node cluster",
 	"llmkv":         "Extension: LLM serving, KV-cache memory vs batched tokens",
+	"chaos":         "Chaos: fault-injection matrix, invariant verdicts per substrate",
 }
 
 // unknownArtifact builds the error text for an id that is not registered,

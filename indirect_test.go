@@ -56,6 +56,66 @@ func TestIndirectConfSteersDeputy(t *testing.T) {
 	}
 }
 
+// SetGoal on an IndirectConf takes the goal in METRIC space, exactly like a
+// direct Conf — transduction applies only on the actuator path (Value), and
+// the PR-4 sensor-hook audit confirmed no caller pre-scales the goal. This
+// test pins that contract with a non-identity transducer: retargeting must
+// not pass through Scale, the virtual-goal ratio (1−λ) must survive the
+// retarget, and the threshold must converge so the METRIC meets the new goal.
+func TestIndirectConfSetGoalIsMetricSpaceWithTransducer(t *testing.T) {
+	// Plant: memory = 3·items + 50; threshold is in BYTES at 8 bytes/item.
+	alpha, base := 3.0, 50.0
+	const bytesPerItem = 8.0
+	profile := NewProfile()
+	for _, s := range []float64{10, 40, 80, 120} {
+		for i := 0; i < 9; i++ {
+			profile.Add(s, alpha*s+base+float64(i%3-1)) // ±1 jitter → λ > 0
+		}
+	}
+	ic, err := NewIndirect(Spec{
+		Name: "max.queue.bytes", Metric: "mem", Goal: 500, Hard: true, Max: 1e6,
+	}, profile, Scale(bytesPerItem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := ic.VirtualGoal() / ic.Goal()
+	if ratio <= 0 || ratio >= 1 {
+		t.Fatalf("hard upper-bound virtual/goal ratio = %v, want in (0,1)", ratio)
+	}
+
+	q := &boundedQueue{limit: 0}
+	settle := func() {
+		for i := 0; i < 300; i++ {
+			ic.SetPerf(alpha*q.size+base, q.size)
+			q.limit = ic.Value() / bytesPerItem // transduced: bytes → items
+			q.step(30, 10)
+		}
+	}
+	settle()
+	if mem := alpha*q.size + base; mem > 500+1e-6 {
+		t.Fatalf("steady-state memory %v exceeds goal 500", mem)
+	}
+
+	ic.SetGoal(320)
+	if got := ic.Goal(); got != 320 {
+		t.Fatalf("Goal() = %v after SetGoal(320); a transduced goal would be %v or %v",
+			got, 320*bytesPerItem, 320/bytesPerItem)
+	}
+	if got := ic.VirtualGoal() / 320; math.Abs(got-ratio) > 1e-9 {
+		t.Errorf("virtual/goal ratio %v after SetGoal, want %v (λ is profiled, not goal-dependent)", got, ratio)
+	}
+	settle()
+	mem := alpha*q.size + base
+	if mem > 320+1e-6 {
+		t.Errorf("memory %v exceeds the tightened goal 320", mem)
+	}
+	// Not needlessly conservative either: if SetGoal had been divided by the
+	// transducer scale (goal 40), the queue would be squashed to nothing.
+	if mem < 160 {
+		t.Errorf("memory %v far below goal 320; SetGoal appears transduced", mem)
+	}
+}
+
 func TestIndirectConfUsesDeputyCurrentValue(t *testing.T) {
 	// §5.3: the update starts from the deputy's current value. With pole 0,
 	// α=1, base 0 and goal G, desired deputy = deputy + (G - measured).

@@ -102,12 +102,28 @@ func newController(model Model, pole, lambda float64, goal Goal, opts Options) (
 	if pole < 0 || pole >= 1 || math.IsNaN(pole) {
 		return nil, fmt.Errorf("core: pole %v outside [0,1)", pole)
 	}
+	if math.IsNaN(goal.Target) || math.IsInf(goal.Target, 0) {
+		return nil, fmt.Errorf("core: non-finite goal target %v", goal.Target)
+	}
+	if math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		// A non-finite λ means the profile's variability was itself garbage
+		// (NaN samples, overflowing magnitudes); refusing here keeps the
+		// virtual goal — and therefore every conf the controller emits —
+		// finite.
+		return nil, fmt.Errorf("core: non-finite stability coefficient λ=%v", lambda)
+	}
 	min, max := opts.Min, opts.Max
 	if max == 0 {
 		max = math.Inf(1)
 	}
+	if math.IsNaN(min) || math.IsNaN(max) {
+		return nil, fmt.Errorf("core: NaN actuator bound [%v,%v]", opts.Min, opts.Max)
+	}
 	if max < min {
 		return nil, fmt.Errorf("core: actuator bounds inverted [%v,%v]", min, max)
+	}
+	if math.IsNaN(opts.Initial) || math.IsInf(opts.Initial, 0) {
+		return nil, fmt.Errorf("core: non-finite initial value %v", opts.Initial)
 	}
 	n := opts.Interaction
 	if n < 1 {
@@ -160,11 +176,21 @@ func (c *Controller) Update(measured float64) float64 {
 	}
 
 	delta := (1 - pole) / (c.interaction * alpha) * e
-	next := clamp(c.conf+delta, c.min, c.max)
+	raw := c.conf + delta
+	if math.IsNaN(raw) {
+		// Only reachable with an unbounded actuator: a ±∞ knob being
+		// corrected by an opposite ±∞ step. Saturate in the step's direction
+		// instead of poisoning the knob with NaN.
+		raw = math.Inf(1)
+		if delta < 0 {
+			raw = math.Inf(-1)
+		}
+	}
+	next := clamp(raw, c.min, c.max)
 
 	// Track saturation so the owner can raise an "unreachable goal" alert:
 	// the controller keeps asking for a value beyond an actuator bound.
-	if c.conf+delta > c.max || c.conf+delta < c.min {
+	if raw > c.max || raw < c.min {
 		c.saturated++
 	} else {
 		c.saturated = 0

@@ -97,6 +97,16 @@ func (nn *NameNode) SetLimit(n int) { nn.limit = clampLimit(n) }
 // Limit returns the current knob value.
 func (nn *NameNode) Limit() int { return nn.limit }
 
+// SetPerFileCost changes the per-file traversal cost mid-run (fault
+// injection: a plant shift — slower metadata storage, cold caches). The cost
+// is read per chunk, so the change applies from the next lock acquisition.
+func (nn *NameNode) SetPerFileCost(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	nn.cfg.PerFileCost = d
+}
+
 // LastChunkFiles returns the deputy variable: how many files the most
 // recent lock hold actually traversed (equal to the limit except at a
 // traversal's final partial chunk).

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"smartconf"
+	"smartconf/internal/chaos"
+	"smartconf/internal/llmserve"
 	"smartconf/internal/memsim"
 	"smartconf/internal/rpcserver"
 	"smartconf/internal/sim"
@@ -13,10 +15,18 @@ import (
 )
 
 // Failure injection: the environment changes out from under the controller.
+// Every fault here is expressed through the chaos injector catalog, so the
+// scheduled disturbance and the replay seed fully determine each run.
 
-// injectHB3813 runs the HB3813 plant with an injected fault at faultTime.
-func injectHB3813(t *testing.T, fault func(heap *memsim.Heap, ic *smartconf.IndirectConf)) (oom bool, oomAt time.Duration, completed int64) {
+// runHB3813Chaos drives the HB3813 plant under a chaos plan. faults sees the
+// constructed plant so injectors can reference the heap, the controller, and
+// the loop; observe (optional) schedules extra probes before the run starts.
+func runHB3813Chaos(t *testing.T,
+	faults func(heap *memsim.Heap, ic *smartconf.IndirectConf, loop *chaos.Loop) []chaos.Fault,
+	observe func(s *sim.Simulation, sv *rpcserver.Server),
+) (oom bool, oomAt time.Duration, completed int64) {
 	t.Helper()
+	const runTime = 500 * time.Second
 	s := sim.New()
 	rng := rand.New(rand.NewSource(4242))
 	heap := memsim.NewHeap(rpcHeapCapacity)
@@ -33,40 +43,53 @@ func injectHB3813(t *testing.T, fault func(heap *memsim.Heap, ic *smartconf.Indi
 	if err != nil {
 		t.Fatal(err)
 	}
-	sv.BeforeAdmit = func() {
-		ic.SetPerf(float64(heap.Used()), float64(sv.QueueLen()))
-		sv.SetMaxQueue(ic.Conf())
-	}
+	loop := chaos.NewLoop(s, chaos.LoopConfig{
+		Sense: func() (float64, float64) { return float64(heap.Used()), float64(sv.QueueLen()) },
+		Step: func(perf, deputy float64) float64 {
+			ic.SetPerf(perf, deputy)
+			return ic.Value()
+		},
+		Actuate: func(v float64) { sv.SetMaxQueue(int(v)) },
+	})
+	sv.BeforeAdmit = loop.Tick
 
-	const runTime = 500 * time.Second
+	plan := &chaos.Plan{Name: "failure", Seed: 4242, Faults: faults(heap, ic, loop)}
+	env := plan.Arm(s, loop)
+
 	heapNoise(s, heap, rng, rpcNoiseMax, runTime)
 	heap.OnOOM(func() { oom, oomAt = true, s.Now() })
-
-	s.At(250*time.Second, func() { fault(heap, ic) })
-
-	w := &rpcWorkload{
-		gen:        workload.NewYCSB(4242, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 << 20}),
-		burstSize:  hb3813BurstSize,
-		burstEvery: hb3813BurstEvery,
-		spacing:    hb3813Spacing,
-		phases:     []workload.YCSBPhase{{Name: "steady", WriteRatio: 1, RequestBytes: 1 << 20}},
+	if observe != nil {
+		observe(s, sv)
 	}
-	w.run(s, runTime, rng, func(op workload.Op) { sv.Offer(op) })
+
+	gen := workload.NewYCSB(4242, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 << 20})
+	s.Every(0, hb3813BurstEvery, func() bool {
+		n := int(float64(hb3813BurstSize) * env.SurgeFactor())
+		for i := 0; i < n; i++ {
+			op := gen.NextOp()
+			s.After(time.Duration(i)*hb3813Spacing, func() { sv.Offer(op) })
+		}
+		return s.Now() < runTime
+	})
 	s.RunUntil(runTime)
 	return oom, oomAt, sv.Completed()
 }
 
 // TestFailureInjectionCapacityDropWithGoalUpdate: the heap budget shrinks
 // mid-run (a co-tenant claims 130 MB) and the administrator lowers the goal
-// accordingly through setGoal — SmartConf re-converges with no OOM.
+// accordingly through the shrink's Then hook — SmartConf re-converges with no
+// OOM.
 func TestFailureInjectionCapacityDropWithGoalUpdate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("failure injection")
 	}
-	oom, at, completed := injectHB3813(t, func(heap *memsim.Heap, ic *smartconf.IndirectConf) {
-		heap.SetCapacity(382 * mb)
-		ic.SetGoal(float64(365 * mb))
-	})
+	oom, at, completed := runHB3813Chaos(t,
+		func(heap *memsim.Heap, ic *smartconf.IndirectConf, _ *chaos.Loop) []chaos.Fault {
+			return []chaos.Fault{chaos.HeapShrink{
+				At: 250 * time.Second, Heap: heap, NewCapacity: 382 * mb,
+				Then: func() { ic.SetGoal(float64(365 * mb)) },
+			}}
+		}, nil)
 	if oom {
 		t.Fatalf("OOM at %v despite the goal update", at)
 	}
@@ -84,9 +107,12 @@ func TestFailureInjectionCapacityDropWithoutGoalUpdate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("failure injection")
 	}
-	oom, at, _ := injectHB3813(t, func(heap *memsim.Heap, ic *smartconf.IndirectConf) {
-		heap.SetCapacity(382 * mb) // far below the still-declared 495 MB goal
-	})
+	oom, at, _ := runHB3813Chaos(t,
+		func(heap *memsim.Heap, _ *smartconf.IndirectConf, _ *chaos.Loop) []chaos.Fault {
+			return []chaos.Fault{chaos.HeapShrink{
+				At: 250 * time.Second, Heap: heap, NewCapacity: 382 * mb,
+			}} // far below the still-declared 495 MB goal
+		}, nil)
 	if !oom {
 		t.Fatal("expected OOM when the goal is left stale")
 	}
@@ -95,101 +121,151 @@ func TestFailureInjectionCapacityDropWithoutGoalUpdate(t *testing.T) {
 	}
 }
 
-// TestFailureInjectionSensorOutage: SetPerf stops being called (a sensor
-// outage). The knob must freeze at its last value rather than drift, and
-// the system keeps serving.
+// TestFailureInjectionSensorOutage: a full sensor dropout from 200 s to the
+// end of the run. The knob must freeze at its last actuated value rather than
+// drift, and the system keeps serving.
 func TestFailureInjectionSensorOutage(t *testing.T) {
 	if testing.Short() {
 		t.Skip("failure injection")
 	}
-	s := sim.New()
-	rng := rand.New(rand.NewSource(77))
-	heap := memsim.NewHeap(rpcHeapCapacity)
-	sv := rpcserver.New(s, heap, rpcConfig())
-	sv.SetMaxQueue(0)
-	ic, err := smartconf.NewIndirect(smartconf.Spec{
-		Name: "q", Metric: "memory_consumption",
-		Goal: float64(rpcMemoryGoal), Hard: true, Min: 0, Max: 5000,
-	}, publicProfile(ProfileHB3813()), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sensorAlive := true
-	var frozenAt float64
-	sv.BeforeAdmit = func() {
-		if sensorAlive {
-			ic.SetPerf(float64(heap.Used()), float64(sv.QueueLen()))
-		}
-		limit := ic.Conf() // without fresh SetPerf this must be a no-op read
-		sv.SetMaxQueue(limit)
-	}
-	s.At(200*time.Second, func() {
-		sensorAlive = false
-		frozenAt = float64(sv.MaxQueue())
-	})
-
-	const runTime = 400 * time.Second
-	heapNoise(s, heap, rng, rpcNoiseMax, runTime)
-	w := &rpcWorkload{
-		gen:        workload.NewYCSB(78, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 << 20}),
-		burstSize:  hb3813BurstSize,
-		burstEvery: hb3813BurstEvery,
-		spacing:    hb3813Spacing,
-		phases:     []workload.YCSBPhase{{Name: "steady", WriteRatio: 1, RequestBytes: 1 << 20}},
-	}
-	w.run(s, runTime, rng, func(op workload.Op) { sv.Offer(op) })
-	s.RunUntil(runTime)
-
-	if heap.OOM() {
+	var frozenAt, finalV float64
+	oom, _, completed := runHB3813Chaos(t,
+		func(_ *memsim.Heap, _ *smartconf.IndirectConf, _ *chaos.Loop) []chaos.Fault {
+			return []chaos.Fault{chaos.SensorDropout{Start: 200 * time.Second, Prob: 1}}
+		},
+		func(s *sim.Simulation, sv *rpcserver.Server) {
+			// Sample after the outage begins: no measurement can reach the
+			// controller past 200 s, so any later change is drift.
+			s.At(205*time.Second, func() { frozenAt = float64(sv.MaxQueue()) })
+			s.At(499*time.Second, func() { finalV = float64(sv.MaxQueue()) })
+		})
+	if oom {
 		t.Fatal("OOM during sensor outage (steady workload)")
 	}
-	if got := float64(sv.MaxQueue()); got != frozenAt {
-		t.Errorf("knob drifted during outage: %v → %v", frozenAt, got)
+	if finalV != frozenAt {
+		t.Errorf("knob drifted during outage: %v → %v", frozenAt, finalV)
 	}
-	if sv.Completed() == 0 {
+	if completed == 0 {
 		t.Error("no work completed")
 	}
 }
 
-// TestFailureInjectionWorkloadSpike: a 4× burst spike arrives without any
-// profiling evidence for it; the hard-goal machinery must still prevent OOM.
+// TestFailureInjectionWorkloadSpike: a 4× burst surge arrives for 50 s
+// without any profiling evidence for it; the hard-goal machinery must still
+// prevent OOM.
 func TestFailureInjectionWorkloadSpike(t *testing.T) {
 	if testing.Short() {
 		t.Skip("failure injection")
 	}
+	oom, at, _ := runHB3813Chaos(t,
+		func(_ *memsim.Heap, _ *smartconf.IndirectConf, _ *chaos.Loop) []chaos.Fault {
+			return []chaos.Fault{chaos.WorkloadSurge{
+				Start: 200 * time.Second, Duration: 50 * time.Second, Factor: 4,
+			}}
+		}, nil)
+	if oom {
+		t.Fatalf("OOM at %v under the unprofiled workload spike", at)
+	}
+}
+
+// runLLMKVChaos drives the LLM serving plant under a chaos plan: the hard
+// GPU-memory goal with the knob in token space (§5.3 indirect configuration).
+func runLLMKVChaos(t *testing.T, phase workload.LLMPhase,
+	faults func(heap *memsim.Heap, phases []workload.LLMPhase) []chaos.Fault,
+) (oom bool, oomAt time.Duration, completed int64) {
+	t.Helper()
+	const runTime = 300 * time.Second
 	s := sim.New()
-	rng := rand.New(rand.NewSource(99))
-	heap := memsim.NewHeap(rpcHeapCapacity)
-	sv := rpcserver.New(s, heap, rpcConfig())
-	sv.SetMaxQueue(0)
+	rng := rand.New(rand.NewSource(9001))
+	heap := memsim.NewHeap(llmHeapCapacity)
+	sv := llmserve.New(s, heap, llmConfig())
+	kvb := float64(llmKVPerToken())
+
 	ic, err := smartconf.NewIndirect(smartconf.Spec{
-		Name: "q", Metric: "memory_consumption",
-		Goal: float64(rpcMemoryGoal), Hard: true, Min: 0, Max: 5000,
-	}, publicProfile(ProfileHB3813()), nil)
+		Name:   "max.num.batched.tokens",
+		Metric: "gpu_memory_consumption",
+		Goal:   float64(llmMemoryGoal),
+		Hard:   true,
+		Min:    0, Max: float64(llmHeapCapacity),
+	}, publicProfile(ProfileLLMKV()), smartconf.Scale(1/kvb))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sv.BeforeAdmit = func() {
-		ic.SetPerf(float64(heap.Used()), float64(sv.QueueLen()))
-		sv.SetMaxQueue(ic.Conf())
-	}
-	const runTime = 400 * time.Second
-	heapNoise(s, heap, rng, rpcNoiseMax, runTime)
-	gen := workload.NewYCSB(100, 1000, workload.YCSBPhase{WriteRatio: 1, RequestBytes: 1 << 20})
-	s.Every(0, hb3813BurstEvery, func() bool {
-		n := hb3813BurstSize
-		if s.Now() > 200*time.Second && s.Now() < 250*time.Second {
-			n *= 4 // the spike
-		}
-		for i := 0; i < n; i++ {
-			op := gen.NextOp()
-			s.After(time.Duration(i)*hb3813Spacing, func() { sv.Offer(op) })
-		}
-		return s.Now() < runTime
+	loop := chaos.NewLoop(s, chaos.LoopConfig{
+		Sense: func() (float64, float64) {
+			return float64(heap.Used()), float64(sv.PromptTokens()) * kvb
+		},
+		Step: func(perf, deputy float64) float64 {
+			ic.SetPerf(perf, deputy)
+			return ic.Value()
+		},
+		Actuate: func(v float64) { sv.SetMaxBatchedTokens(int(v)) },
 	})
+	s.Every(0, 15*time.Second, func() bool {
+		loop.Tick()
+		return s.Now() < runTime && !sv.Crashed()
+	})
+
+	phases := []workload.LLMPhase{phase}
+	plan := &chaos.Plan{Name: "failure", Seed: 9001, Faults: faults(heap, phases)}
+	env := plan.Arm(s, loop)
+
+	heapNoise(s, heap, rng, llmNoiseMax, runTime)
+	heap.OnOOM(func() { oom, oomAt = true, s.Now() })
+	chaosLLMDrive(s, sv, phases, 9002, runTime, env)
 	s.RunUntil(runTime)
-	if heap.OOM() {
-		t.Fatal("OOM under the unprofiled workload spike")
+	return oom, oomAt, sv.Completed()
+}
+
+// TestFailureInjectionLLMKVPressureSpike: an uncounted 1 GiB allocation
+// lands on the GPU for 30 s (a co-located job's KV spill). The controller
+// senses the occupancy jump and closes the token budget; the spike must not
+// OOM the server.
+func TestFailureInjectionLLMKVPressureSpike(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failure injection")
+	}
+	chat := workload.LLMPhase{Name: "chat", RequestsPerSec: 40, PromptMean: 150, OutputMean: 300,
+		BurstSize: 40, BurstSpacing: 50 * time.Millisecond}
+	oom, at, completed := runLLMKVChaos(t, chat,
+		func(heap *memsim.Heap, _ []workload.LLMPhase) []chaos.Fault {
+			return []chaos.Fault{chaos.HeapPressure{
+				Start: 100 * time.Second, Duration: 30 * time.Second,
+				Heap: heap, Bytes: 1 << 30,
+			}}
+		})
+	if oom {
+		t.Fatalf("OOM at %v under the KV-pressure spike", at)
+	}
+	if completed == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+// TestFailureInjectionLLMDecodeAmplification: the workload shifts from long
+// prompts with short answers (summarize) to short prompts with 2× longer
+// decodes (chat) — per-admitted-token memory amplification the profile never
+// saw at the operating point the knob had opened up to. The deputy-based
+// update must pull the token budget back without an OOM.
+func TestFailureInjectionLLMDecodeAmplification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failure injection")
+	}
+	chat := workload.LLMPhase{Name: "chat", RequestsPerSec: 40, PromptMean: 150, OutputMean: 300,
+		BurstSize: 40, BurstSpacing: 50 * time.Millisecond}
+	summarize := workload.LLMPhase{Name: "summarize", RequestsPerSec: 12, PromptMean: 1800, OutputMean: 220}
+	oom, at, completed := runLLMKVChaos(t, summarize,
+		func(_ *memsim.Heap, phases []workload.LLMPhase) []chaos.Fault {
+			return []chaos.Fault{chaos.PlantShift{
+				Label: "decode-amplification", At: 150 * time.Second,
+				Apply: func() { phases[0] = chat },
+			}}
+		})
+	if oom {
+		t.Fatalf("OOM at %v after the decode-amplification shift", at)
+	}
+	if completed == 0 {
+		t.Fatal("no requests completed")
 	}
 }
 

@@ -74,6 +74,22 @@ func ProfileHB2149() core.Profile {
 	})
 }
 
+// hb2149Sensor builds the per-flush hook: read the last completed flush's
+// block time, feed the controller, apply the new fraction. The first flush
+// has no completed measurement yet (Count() == 0), so the hook holds the
+// Initial fraction instead of acting on a phantom 0 s sample that would
+// read "goal comfortably met" and push the knob off fabricated data.
+func hb2149Sensor(st *kvstore.Memstore, sc *smartconf.Conf) func() {
+	return func() {
+		if st.BlockTimes().Count() == 0 {
+			return
+		}
+		last := st.BlockTimes().Last().Seconds() //sc:HB2149:sensor
+		sc.SetPerf(last)                         //sc:HB2149:invoke
+		st.SetFlushFraction(sc.Value())          //sc:HB2149:invoke
+	}
+}
+
 // RunHB2149 executes the two-phase evaluation under the given policy.
 func RunHB2149(p Policy) Result {
 	s := newScenarioSim()
@@ -101,11 +117,7 @@ func RunHB2149(p Policy) Result {
 		// Conditional configuration: the controller runs only when a flush
 		// actually triggers (§4.2 — the natural call sites ARE the
 		// condition).
-		st.BeforeFlush = func() {
-			last := st.BlockTimes().Last().Seconds() //sc:HB2149:sensor
-			sc.SetPerf(last)                         //sc:HB2149:invoke
-			st.SetFlushFraction(sc.Value())          //sc:HB2149:invoke
-		}
+		st.BeforeFlush = hb2149Sensor(st, sc)
 		setGoal = sc.SetGoal
 	case SinglePolePolicy, NoVirtualGoalPolicy:
 		// The Figure 7 ablations target hard memory goals; for this soft

@@ -72,6 +72,22 @@ func ProfileHD4995() core.Profile {
 	})
 }
 
+// hd4995Sensor builds the per-chunk hook: read the last completed lock
+// hold, feed the controller in deputy space (files actually traversed),
+// apply the new limit. On the first chunk of the first du no hold has
+// completed (Count() == 0), so the hook keeps the Initial limit rather
+// than feeding a phantom 0 s hold paired with a stale deputy reading.
+func hd4995Sensor(nn *dfs.NameNode, ic *smartconf.IndirectConf) func() {
+	return func() {
+		if nn.HoldTimes().Count() == 0 {
+			return
+		}
+		hold := nn.HoldTimes().Last().Seconds()        //sc:HD4995:sensor
+		ic.SetPerf(hold, float64(nn.LastChunkFiles())) //sc:HD4995:invoke
+		nn.SetLimit(ic.Conf())                         //sc:HD4995:invoke
+	}
+}
+
 // RunHD4995 executes the two-phase evaluation under the given policy.
 func RunHD4995(p Policy) Result {
 	s := newScenarioSim()
@@ -97,11 +113,7 @@ func RunHD4995(p Policy) Result {
 		}
 		// Conditional + indirect: invoked per lock acquisition during a du;
 		// the deputy is the actual files-per-hold of the last chunk.
-		nn.BeforeChunk = func() {
-			hold := nn.HoldTimes().Last().Seconds()        //sc:HD4995:sensor
-			ic.SetPerf(hold, float64(nn.LastChunkFiles())) //sc:HD4995:invoke
-			nn.SetLimit(ic.Conf())                         //sc:HD4995:invoke
-		}
+		nn.BeforeChunk = hd4995Sensor(nn, ic)
 		setGoal = ic.SetGoal
 	case SinglePolePolicy, NoVirtualGoalPolicy:
 		return runCached(HD4995Scenario(), SmartConf()) // ablations target hard memory goals

@@ -99,6 +99,16 @@ func (st *Memstore) SetFlushFraction(f float64) { st.flushFraction = clampFracti
 // FlushFraction returns the current knob value.
 func (st *Memstore) FlushFraction() float64 { return st.flushFraction }
 
+// SetFlushBytesPerSec changes the flush drain rate mid-run (fault injection:
+// a plant shift — disk contention slowing flushes). The rate is read when a
+// flush starts, so an in-progress flush keeps its original duration.
+func (st *Memstore) SetFlushBytesPerSec(v int64) {
+	if v < 1 {
+		v = 1
+	}
+	st.cfg.FlushBytesPerSec = v
+}
+
 // Bytes returns the current memstore occupancy.
 func (st *Memstore) Bytes() int64 { return st.bytes }
 

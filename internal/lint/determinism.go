@@ -21,6 +21,8 @@ var DeterminismPackages = []string{
 	"smartconf/internal/llmserve",
 	"smartconf/internal/workload",
 	"smartconf/internal/experiments",
+	"smartconf/internal/chaos",
+	"smartconf/internal/proptest",
 	// Not simulation code, but on the deterministic-artifact path the golden
 	// byte-identity tests protect: the system/goals file layer, the Table 1-5
 	// study data, and the artifact-rendering commands.

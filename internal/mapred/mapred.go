@@ -162,6 +162,16 @@ func (c *Cluster) SetMinSpaceStart(v int64) {
 // MinSpaceStart returns the current knob value.
 func (c *Cluster) MinSpaceStart() int64 { return c.minSpaceStart }
 
+// SetTaskBytesPerSec changes the task write rate mid-run (fault injection: a
+// plant shift — co-tenant I/O contention slowing the local disks). The rate
+// is read at task launch, so running tasks keep their original schedule.
+func (c *Cluster) SetTaskBytesPerSec(v int64) {
+	if v < 1 {
+		v = 1
+	}
+	c.cfg.TaskBytesPerSec = v
+}
+
 // Workers returns the worker nodes (for disturbance injection and sensors).
 func (c *Cluster) Workers() []*Worker { return c.workers }
 

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// The lazy-expiry cutoff is exact: a bucket dies the instant
+// start+bucket == now−window, not one observation later.
+func TestMeterExpiryExactBoundary(t *testing.T) {
+	m := NewMeter(time.Second) // bucket = 50ms
+	m.Mark(0, 1)               // bucket [0, 50ms)
+	// cutoff = now − 1s; the bucket expires when 50ms ≤ cutoff, i.e. now ≥ 1.05s.
+	if got := m.Total(1050*time.Millisecond - time.Nanosecond); got != 1 {
+		t.Errorf("Total just before the boundary = %v, want 1", got)
+	}
+	if got := m.Total(1050 * time.Millisecond); got != 0 {
+		t.Errorf("Total at the boundary = %v, want 0", got)
+	}
+}
+
+// Partial expiry: old buckets drop, live ones survive, in one pass.
+func TestMeterPartialExpiry(t *testing.T) {
+	m := NewMeter(time.Second)
+	m.Mark(0, 2)
+	m.Mark(500*time.Millisecond, 3)
+	m.Mark(990*time.Millisecond, 5)
+	if got := m.Total(1100 * time.Millisecond); got != 8 {
+		t.Errorf("Total = %v, want 8 (first bucket expired)", got)
+	}
+	if got := len(m.buckets); got != 2 {
+		t.Errorf("buckets = %d, want 2", got)
+	}
+}
+
+// Rate's denominator switches from elapsed time to the window exactly when
+// the window first fills.
+func TestMeterRateEarlySpanBoundary(t *testing.T) {
+	m := NewMeter(time.Second)
+	m.Mark(0, 10)
+	if got := m.Rate(500 * time.Millisecond); got != 20 {
+		t.Errorf("Rate before the window fills = %v, want 20 (10 events / 0.5s)", got)
+	}
+	if got := m.Rate(time.Second); got != 10 {
+		t.Errorf("Rate at the window boundary = %v, want 10", got)
+	}
+	if got := m.Rate(0); got != 0 {
+		t.Errorf("Rate at t=0 = %v, want 0 (zero span)", got)
+	}
+}
+
+// Quantile edges: with one sample every percentile is that sample; with two,
+// p50 and p95 must interpolate within [lo, hi] and order correctly.
+func TestLatencySnapshotQuantileEdges(t *testing.T) {
+	one := NewLatency(8)
+	one.Observe(7 * time.Millisecond)
+	s := one.Snapshot()
+	if s.P50 != 7*time.Millisecond || s.P95 != 7*time.Millisecond {
+		t.Errorf("single-sample quantiles p50=%v p95=%v, want 7ms both", s.P50, s.P95)
+	}
+	if s.Mean != 7*time.Millisecond || s.Worst != 7*time.Millisecond || s.Count != 1 {
+		t.Errorf("single-sample snapshot %+v", s)
+	}
+
+	two := NewLatency(8)
+	two.Observe(10 * time.Millisecond)
+	two.Observe(20 * time.Millisecond)
+	s = two.Snapshot()
+	if s.P50 < 10*time.Millisecond || s.P50 > 20*time.Millisecond {
+		t.Errorf("two-sample p50 = %v outside [10ms,20ms]", s.P50)
+	}
+	if s.P95 < s.P50 || s.P95 > 20*time.Millisecond {
+		t.Errorf("two-sample p95 = %v, want in [p50,20ms]", s.P95)
+	}
+}
+
+// Window eviction: all-time aggregates (Count, Worst, OverallMean) keep the
+// evicted history; windowed ones (WindowMax, quantiles) forget it.
+func TestLatencyWindowVersusAllTime(t *testing.T) {
+	l := NewLatency(2)
+	l.Observe(100 * time.Millisecond) // will be evicted
+	l.Observe(10 * time.Millisecond)
+	l.Observe(20 * time.Millisecond)
+	if got := l.WindowMax(); got != 20*time.Millisecond {
+		t.Errorf("WindowMax = %v, want 20ms (100ms evicted)", got)
+	}
+	s := l.Snapshot()
+	if s.Worst != 100*time.Millisecond {
+		t.Errorf("Worst = %v, want all-time 100ms", s.Worst)
+	}
+	if s.Count != 3 {
+		t.Errorf("Count = %d, want 3", s.Count)
+	}
+	if s.P95 > 20*time.Millisecond {
+		t.Errorf("P95 = %v includes evicted sample", s.P95)
+	}
+	if got := l.OverallMean(); got != (130*time.Millisecond)/3 {
+		t.Errorf("OverallMean = %v, want 130ms/3", got)
+	}
+}

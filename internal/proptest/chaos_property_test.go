@@ -1,0 +1,78 @@
+// Property tests: every substrate, run under seed-generated fault plans,
+// must satisfy the full oracle set. External test package — the harnesses
+// live in internal/experiments, which imports proptest for the Report type,
+// so an internal test here would cycle.
+//
+// Replay a failure exactly: go test ./internal/proptest/ -run TestChaos -seed=N
+// Long sweep (CI nightly):  go test ./internal/proptest/ -run TestChaos -quick=false
+package proptest_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"smartconf/internal/experiments"
+	"smartconf/internal/proptest"
+)
+
+var (
+	seedFlag  = flag.Int64("seed", 0, "run chaos property tests under this single seed (0 = default seed set)")
+	quickFlag = flag.Bool("quick", true, "small seed set; -quick=false runs the long sweep")
+)
+
+func chaosSeeds() []int64 {
+	if *seedFlag != 0 {
+		return []int64{*seedFlag}
+	}
+	if *quickFlag {
+		return []int64{1, 2}
+	}
+	seeds := make([]int64, 16)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+// TestChaosProperties is the invariant harness: for every substrate × seed,
+// generate a fault plan from the seed, run the substrate's SmartConf loop
+// through it, and hold the run to the oracle set.
+func TestChaosProperties(t *testing.T) {
+	for _, sub := range experiments.ChaosSubstrates() {
+		for _, seed := range chaosSeeds() {
+			t.Run(fmt.Sprintf("%s/seed=%d", sub, seed), func(t *testing.T) {
+				r := experiments.RunChaosProperty(sub, seed)
+				p := experiments.ChaosParams(sub)
+				for name, err := range map[string]error{
+					"Drains":                 proptest.Drains(&r),
+					"MakesProgress":          proptest.MakesProgress(&r, p.MinProgress),
+					"ConfInBounds":           proptest.ConfInBounds(&r),
+					"HardGoalBounded":        proptest.HardGoalBounded(&r, p.Settle),
+					"RecoversAfterClearance": proptest.RecoversAfterClearance(&r, p.Recover),
+				} {
+					if err != nil {
+						t.Errorf("%s: %v", name, err)
+					}
+				}
+				if t.Failed() {
+					t.Logf("replay: go test ./internal/proptest/ -run 'TestChaosProperties/%s' -seed=%d", sub, seed)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosReplay is the determinism property: two genuine (uncached)
+// executions of the same (substrate, seed) must be byte-identical.
+func TestChaosReplay(t *testing.T) {
+	for _, sub := range experiments.ChaosSubstrates() {
+		t.Run(sub, func(t *testing.T) {
+			a := experiments.RunChaosProperty(sub, 5)
+			b := experiments.RunChaosProperty(sub, 5)
+			if err := proptest.Replays(&a, &b); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"smartconf/internal/chaos"
+	"smartconf/internal/workload"
+)
+
+// GenPlan derives a control-loop fault plan deterministically from seed: one
+// to three faults drawn from the loop-fault catalog, every window inside
+// [horizon/4, 3·horizon/4] so the run has clean lead-in and recovery
+// quarters for the settling and recovery oracles to judge. knobLo/knobHi are
+// the actuator bounds; the clamp fault restricts within them (it models a
+// degraded actuator, not an out-of-range one).
+func GenPlan(name string, seed int64, horizon time.Duration, knobLo, knobHi float64) *chaos.Plan {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(3)
+	faults := make([]chaos.Fault, 0, n)
+	for i := 0; i < n; i++ {
+		// Window: start in [h/4, h/2], duration in [h/20, h/4] — always fully
+		// cleared by 3h/4.
+		start := horizon/4 + time.Duration(rng.Int63n(int64(horizon/4)))
+		duration := horizon/20 + time.Duration(rng.Int63n(int64(horizon/5)))
+		switch rng.Intn(7) {
+		case 0:
+			faults = append(faults, chaos.SensorNoise{
+				Start: start, Duration: duration,
+				Sigma: 0.02 + 0.08*rng.Float64(),
+			})
+		case 1:
+			faults = append(faults, chaos.SensorDropout{
+				Start: start, Duration: duration,
+				Prob: 0.3 + 0.6*rng.Float64(),
+			})
+		case 2:
+			faults = append(faults, chaos.SensorStaleness{
+				Start: start, Duration: duration,
+				Delay: time.Second + time.Duration(rng.Int63n(int64(4*time.Second))),
+			})
+		case 3:
+			faults = append(faults, chaos.ActuationDelay{
+				Start: start, Duration: duration,
+				Delay: 500*time.Millisecond + time.Duration(rng.Int63n(int64(2*time.Second))),
+			})
+		case 4:
+			// Clamp into the lower part of the range: conservative for
+			// upper-bound goals (the knob can close, not blow open).
+			hi := knobLo + (0.25+0.75*rng.Float64())*(knobHi-knobLo)
+			faults = append(faults, chaos.ActuationClamp{
+				Start: start, Duration: duration,
+				Min: knobLo, Max: hi,
+			})
+		case 5:
+			faults = append(faults, chaos.ControllerStall{
+				Start: start, Duration: duration,
+			})
+		default:
+			faults = append(faults, chaos.ControllerCrash{
+				At: start, RestartAfter: duration,
+			})
+		}
+	}
+	return &chaos.Plan{Name: name, Seed: seed, Faults: faults}
+}
+
+// GenPhases derives an n-phase YCSB workload schedule deterministically from
+// seed (the workload half of the generator pair). Every phase but the last
+// carries a finite duration; the last runs to the end of the experiment.
+func GenPhases(seed int64, n int) []workload.YCSBPhase {
+	rng := rand.New(rand.NewSource(seed))
+	phases := make([]workload.YCSBPhase, 0, n)
+	for i := 0; i < n; i++ {
+		p := workload.YCSBPhase{
+			Name:         fmt.Sprintf("gen-%d", i),
+			WriteRatio:   float64(rng.Intn(11)) / 10,
+			RequestBytes: 1024 << rng.Intn(11), // 1 KiB … 1 MiB
+			CacheRatio:   float64(rng.Intn(6)) / 10,
+			OpsPerSec:    float64(1 + rng.Intn(100)),
+		}
+		if i < n-1 {
+			p.Duration = time.Duration(60+rng.Intn(240)) * time.Second
+		}
+		phases = append(phases, p)
+	}
+	return phases
+}

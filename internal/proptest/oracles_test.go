@@ -1,0 +1,201 @@
+package proptest
+
+import (
+	"testing"
+	"time"
+
+	"smartconf/internal/chaos"
+)
+
+func baseReport() *Report {
+	r := &Report{
+		Substrate: "toy",
+		Plan:      "plan",
+		Seed:      1,
+		Horizon:   100 * time.Second,
+		Drained:   true,
+		Progress:  500,
+		Goal:      []Sample{{0, 10}},
+		Upper:     true,
+		KnobMin:   0,
+		KnobMax:   100,
+		Faults:    []chaos.Window{{Start: 40 * time.Second, End: 50 * time.Second}},
+	}
+	for t := time.Second; t <= r.Horizon; t += time.Second {
+		r.Metric = append(r.Metric, Sample{t, 8})
+		r.Knob = append(r.Knob, Sample{t, 50})
+	}
+	return r
+}
+
+func TestOraclesPassOnCleanRun(t *testing.T) {
+	r := baseReport()
+	for name, err := range map[string]error{
+		"Drains":                 Drains(r),
+		"MakesProgress":          MakesProgress(r, 100),
+		"ConfInBounds":           ConfInBounds(r),
+		"HardGoalBounded":        HardGoalBounded(r, 10*time.Second),
+		"RecoversAfterClearance": RecoversAfterClearance(r, 20*time.Second),
+	} {
+		if err != nil {
+			t.Errorf("%s failed on a clean run: %v", name, err)
+		}
+	}
+}
+
+func TestDrainsFailsOnPrematureStop(t *testing.T) {
+	r := baseReport()
+	r.Drained = false
+	if Drains(r) == nil {
+		t.Fatal("Drains passed a run that stopped early")
+	}
+}
+
+func TestMakesProgressFailsOnIdleRun(t *testing.T) {
+	r := baseReport()
+	r.Progress = 3
+	if MakesProgress(r, 100) == nil {
+		t.Fatal("MakesProgress passed an idle run")
+	}
+}
+
+func TestConfInBoundsCatchesExcursion(t *testing.T) {
+	r := baseReport()
+	r.Knob[7].V = 101
+	if ConfInBounds(r) == nil {
+		t.Fatal("ConfInBounds missed an out-of-range knob value")
+	}
+}
+
+func TestHardGoalBoundedAllowsTransientInsideWindow(t *testing.T) {
+	r := baseReport()
+	// Violation during the fault window and within the settle allowance.
+	r.Metric[44].V = 12 // t=45s, inside [40s,50s]
+	r.Metric[54].V = 12 // t=55s, inside the +10s settle tail
+	if err := HardGoalBounded(r, 10*time.Second); err != nil {
+		t.Fatalf("transient violation inside the allowance rejected: %v", err)
+	}
+	// The same excursion outside any window must fail.
+	r.Metric[79].V = 12 // t=80s: steady state
+	if HardGoalBounded(r, 10*time.Second) == nil {
+		t.Fatal("steady-state violation accepted")
+	}
+}
+
+func TestHardGoalBoundedFailsOnCrash(t *testing.T) {
+	r := baseReport()
+	r.Crashed, r.CrashedAt = true, 45*time.Second
+	if HardGoalBounded(r, 10*time.Second) == nil {
+		t.Fatal("HardGoalBounded passed a crashed run")
+	}
+}
+
+func TestRecoversAfterClearance(t *testing.T) {
+	r := baseReport()
+	// Violations up to 20s past clearance (50s) are tolerated…
+	r.Metric[64].V = 12 // t=65s ≤ 50s+20s? no: 65 < 70, tolerated
+	if err := RecoversAfterClearance(r, 20*time.Second); err != nil {
+		t.Fatalf("violation inside the recovery budget rejected: %v", err)
+	}
+	// …but not beyond it.
+	r.Metric[89].V = 12 // t=90s > 70s
+	if RecoversAfterClearance(r, 20*time.Second) == nil {
+		t.Fatal("missed a post-recovery-deadline violation")
+	}
+}
+
+func TestLowerBoundDirection(t *testing.T) {
+	r := baseReport()
+	r.Upper = false
+	r.Goal = []Sample{{0, 5}}
+	// All metric samples are 8 ≥ 5: fine for a lower bound.
+	if err := HardGoalBounded(r, 0); err != nil {
+		t.Fatalf("lower-bound run rejected: %v", err)
+	}
+	r.Metric[79].V = 3 // steady-state dip below the floor
+	if HardGoalBounded(r, 0) == nil {
+		t.Fatal("missed a lower-bound violation")
+	}
+}
+
+func TestGoalAtIsStepwise(t *testing.T) {
+	r := &Report{Goal: []Sample{{0, 10}, {50 * time.Second, 5}}}
+	if got := r.GoalAt(30 * time.Second); got != 10 {
+		t.Errorf("GoalAt(30s) = %v, want 10", got)
+	}
+	if got := r.GoalAt(50 * time.Second); got != 5 {
+		t.Errorf("GoalAt(50s) = %v, want 5", got)
+	}
+	if got := r.GoalAt(90 * time.Second); got != 5 {
+		t.Errorf("GoalAt(90s) = %v, want 5", got)
+	}
+}
+
+func TestReplaysComparesFingerprints(t *testing.T) {
+	a, b := baseReport(), baseReport()
+	if Replays(a, b) == nil {
+		t.Fatal("Replays must reject reports without fingerprints")
+	}
+	a.ComputeFingerprint()
+	b.ComputeFingerprint()
+	if err := Replays(a, b); err != nil {
+		t.Fatalf("identical runs flagged as divergent: %v", err)
+	}
+	b.Metric[3].V += 1e-12 // even a last-bit wiggle must be caught
+	b.ComputeFingerprint()
+	if Replays(a, b) == nil {
+		t.Fatal("Replays missed a sub-epsilon divergence")
+	}
+}
+
+func TestGenPlanDeterministicAndWindowed(t *testing.T) {
+	const horizon = 400 * time.Second
+	a := GenPlan("p", 7, horizon, 0, 100)
+	b := GenPlan("p", 7, horizon, 0, 100)
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different plans: %s vs %s", a, b)
+	}
+	if len(a.Faults) < 1 || len(a.Faults) > 3 {
+		t.Fatalf("fault count %d outside [1,3]", len(a.Faults))
+	}
+	// Across seeds, plans must vary.
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		p := GenPlan("p", seed, horizon, 0, 100)
+		distinct[p.String()] = true
+		for _, w := range p.Windows(horizon) {
+			if w.Start < horizon/4 || w.End > 3*horizon/4 {
+				t.Errorf("seed %d: window %v outside [h/4, 3h/4]", seed, w)
+			}
+		}
+	}
+	if len(distinct) < 10 {
+		t.Errorf("only %d distinct plans over 20 seeds", len(distinct))
+	}
+}
+
+func TestGenPhasesDeterministicAndValid(t *testing.T) {
+	a := GenPhases(3, 4)
+	b := GenPhases(3, 4)
+	if len(a) != 4 {
+		t.Fatalf("got %d phases, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different phases at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].WriteRatio < 0 || a[i].WriteRatio > 1 {
+			t.Errorf("phase %d write ratio %v outside [0,1]", i, a[i].WriteRatio)
+		}
+		if a[i].RequestBytes < 1024 || a[i].RequestBytes > 1<<20 {
+			t.Errorf("phase %d request bytes %d outside [1KiB,1MiB]", i, a[i].RequestBytes)
+		}
+		if a[i].OpsPerSec <= 0 {
+			t.Errorf("phase %d rate %v not positive", i, a[i].OpsPerSec)
+		}
+		last := i == len(a)-1
+		if last != (a[i].Duration == 0) {
+			t.Errorf("phase %d duration %v: only the last phase may be open-ended", i, a[i].Duration)
+		}
+	}
+}

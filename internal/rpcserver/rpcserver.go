@@ -160,6 +160,20 @@ func (sv *Server) SetMaxRespBytes(n int64) {
 	sv.maxRespBytes = n
 }
 
+// SetWorkers resizes the handler pool mid-run (fault injection: worker-pool
+// loss). The dispatch loop reads the bound per iteration, so a shrink takes
+// effect as running handlers finish; busy handlers above the new bound are
+// never interrupted.
+func (sv *Server) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	sv.cfg.Workers = n
+}
+
+// Workers returns the current handler-pool size.
+func (sv *Server) Workers() int { return sv.cfg.Workers }
+
 // MaxQueue returns the current request-queue bound.
 func (sv *Server) MaxQueue() int { return sv.maxQueueItems }
 

@@ -1,0 +1,81 @@
+package sysfile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A profiling file captured mid-write (torn final line) must fail with a
+// line-numbered error, and the same content re-read after the write completed
+// must parse — the reload-while-write contract for readers polling
+// <ConfName>.SmartConf.sys while the profiler appends.
+func TestParseProfileTornWrite(t *testing.T) {
+	complete := "sample 100 205\nsample 100 207\nsample 200 410\n"
+	torn := complete[:len(complete)-len(" 410\n")] // write cut mid-line
+
+	if _, err := ParseProfile(strings.NewReader(torn)); err == nil {
+		t.Fatal("torn profile accepted")
+	} else {
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("torn profile error %v is not a *ParseError", err)
+		}
+		if pe.Line != 3 {
+			t.Errorf("torn line reported as %d, want 3", pe.Line)
+		}
+	}
+
+	p, err := ParseProfile(strings.NewReader(complete))
+	if err != nil {
+		t.Fatalf("completed write rejected: %v", err)
+	}
+	if got := p.TotalSamples(); got != 3 {
+		t.Errorf("samples = %d, want 3", got)
+	}
+}
+
+// Recovery from a malformed line: the ParseError pinpoints it, and dropping
+// exactly that line yields the same profile as if it was never written.
+func TestParseProfileMalformedLineRecovery(t *testing.T) {
+	lines := []string{
+		"sample 100 205",
+		"sample oops 207", // corrupt
+		"sample 200 410",
+	}
+	_, err := ParseProfile(strings.NewReader(strings.Join(lines, "\n")))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected *ParseError, got %v", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("malformed line reported as %d, want 2", pe.Line)
+	}
+
+	repaired := append(append([]string{}, lines[:pe.Line-1]...), lines[pe.Line:]...)
+	p, err := ParseProfile(strings.NewReader(strings.Join(repaired, "\n")))
+	if err != nil {
+		t.Fatalf("repaired profile rejected: %v", err)
+	}
+	if got := p.TotalSamples(); got != 2 {
+		t.Errorf("repaired samples = %d, want 2", got)
+	}
+}
+
+// The same torn-write contract for the system file: a truncated attribute
+// line fails cleanly, never yields a half-parsed Sys.
+func TestParseSysTornWrite(t *testing.T) {
+	complete := "q @ memory\nq = 50\nq.max = 5000\n"
+	torn := complete[:len(complete)-len("5000\n")]
+	if _, err := ParseSys(strings.NewReader(torn)); err == nil {
+		t.Fatal("torn system file accepted")
+	}
+	sys, err := ParseSys(strings.NewReader(complete))
+	if err != nil {
+		t.Fatalf("completed write rejected: %v", err)
+	}
+	b, ok := sys.Binding("q")
+	if !ok || !b.HasMax || b.Max != 5000 {
+		t.Errorf("binding after reload: %+v", b)
+	}
+}

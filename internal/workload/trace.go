@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace format: a YCSB phase schedule as text, one phase per line, so
+// workload schedules can live in files and flow through experiment configs.
+//
+//	# write-heavy warmup, then a read burst that runs to the end
+//	warmup 2m0s  write=1   bytes=1048576 cache=0   ops=100
+//	burst  0s    write=0.1 bytes=4096    cache=0.3 ops=500
+//
+// Blank lines and '#' comments are ignored. The duration is positional
+// (second field); a zero duration means "runs to the end of the experiment"
+// and is only legal on the last phase, mirroring PhaseAt's contract.
+
+// ParseSchedule parses the trace format into a phase schedule.
+func ParseSchedule(s string) ([]YCSBPhase, error) {
+	var phases []YCSBPhase
+	terminal := false
+	for ln, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if terminal {
+			return nil, fmt.Errorf("workload: line %d: phase after a zero-duration (terminal) phase", ln+1)
+		}
+		p, err := parsePhase(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", ln+1, err)
+		}
+		phases = append(phases, p)
+		terminal = p.Duration == 0
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: empty schedule")
+	}
+	return phases, nil
+}
+
+func parsePhase(line string) (YCSBPhase, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return YCSBPhase{}, fmt.Errorf("want 'name duration key=value...', got %q", line)
+	}
+	name := fields[0]
+	if strings.ContainsAny(name, "=#") {
+		return YCSBPhase{}, fmt.Errorf("phase name %q may not contain '=' or '#'", name)
+	}
+	dur, err := time.ParseDuration(fields[1])
+	if err != nil {
+		return YCSBPhase{}, fmt.Errorf("duration %q: %v", fields[1], err)
+	}
+	if dur < 0 {
+		return YCSBPhase{}, fmt.Errorf("negative duration %v", dur)
+	}
+	p := YCSBPhase{Name: name, Duration: dur}
+	seen := map[string]bool{}
+	for _, kv := range fields[2:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return YCSBPhase{}, fmt.Errorf("field %q is not key=value", kv)
+		}
+		if seen[key] {
+			return YCSBPhase{}, fmt.Errorf("duplicate field %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "write":
+			p.WriteRatio, err = parseRatio(val)
+		case "cache":
+			p.CacheRatio, err = parseRatio(val)
+		case "ops":
+			p.OpsPerSec, err = strconv.ParseFloat(val, 64)
+			if err == nil && (math.IsNaN(p.OpsPerSec) || math.IsInf(p.OpsPerSec, 0) || p.OpsPerSec < 0) {
+				err = fmt.Errorf("rate %v outside [0,∞)", p.OpsPerSec)
+			}
+		case "bytes":
+			p.RequestBytes, err = strconv.ParseInt(val, 10, 64)
+			if err == nil && p.RequestBytes < 1 {
+				err = fmt.Errorf("request size %d below 1 byte", p.RequestBytes)
+			}
+		default:
+			return YCSBPhase{}, fmt.Errorf("unknown field %q", key)
+		}
+		if err != nil {
+			return YCSBPhase{}, fmt.Errorf("field %q: %v", kv, err)
+		}
+	}
+	if p.RequestBytes == 0 {
+		return YCSBPhase{}, fmt.Errorf("missing required field bytes=")
+	}
+	return p, nil
+}
+
+func parseRatio(val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return 0, fmt.Errorf("ratio %v outside [0,1]", v)
+	}
+	return v, nil
+}
+
+// FormatSchedule renders a schedule in the canonical trace format.
+// ParseSchedule(FormatSchedule(p)) reproduces p exactly: durations use
+// time.Duration.String and floats use shortest-round-trip formatting.
+func FormatSchedule(phases []YCSBPhase) string {
+	var b strings.Builder
+	for _, p := range phases {
+		name := p.Name
+		if name == "" {
+			name = "phase"
+		}
+		fmt.Fprintf(&b, "%s %s write=%g bytes=%d cache=%g ops=%g\n",
+			name, p.Duration, p.WriteRatio, p.RequestBytes, p.CacheRatio, p.OpsPerSec)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	in := `
+# warmup, then a read burst to the end
+warmup 2m0s  write=1   bytes=1048576 cache=0   ops=100
+burst  0s    write=0.1 bytes=4096    cache=0.3 ops=500
+`
+	phases, err := ParseSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []YCSBPhase{
+		{Name: "warmup", Duration: 2 * time.Minute, WriteRatio: 1, RequestBytes: 1 << 20, OpsPerSec: 100},
+		{Name: "burst", WriteRatio: 0.1, RequestBytes: 4096, CacheRatio: 0.3, OpsPerSec: 500},
+	}
+	if !reflect.DeepEqual(phases, want) {
+		t.Fatalf("parsed %+v, want %+v", phases, want)
+	}
+	again, err := ParseSchedule(FormatSchedule(phases))
+	if err != nil {
+		t.Fatalf("reparse of canonical form: %v", err)
+	}
+	if !reflect.DeepEqual(again, phases) {
+		t.Fatalf("round trip changed the schedule: %+v vs %+v", again, phases)
+	}
+}
+
+func TestParseScheduleRejectsMalformedLines(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":                "",
+		"comments only":        "# nothing\n\n",
+		"missing duration":     "steady\n",
+		"bad duration":         "steady xyz bytes=1\n",
+		"negative duration":    "steady -5s bytes=1\n",
+		"bare field":           "steady 5s bytes\n",
+		"unknown field":        "steady 5s bytes=1 color=red\n",
+		"duplicate field":      "steady 5s bytes=1 bytes=2\n",
+		"ratio above one":      "steady 5s bytes=1 write=1.5\n",
+		"NaN ratio":            "steady 5s bytes=1 cache=NaN\n",
+		"infinite rate":        "steady 5s bytes=1 ops=+Inf\n",
+		"negative rate":        "steady 5s bytes=1 ops=-3\n",
+		"zero bytes":           "steady 5s bytes=0\n",
+		"missing bytes":        "steady 5s write=1\n",
+		"name with equals":     "a=b 5s bytes=1\n",
+		"phase after terminal": "a 0s bytes=1\nb 5s bytes=1\n",
+	} {
+		if _, err := ParseSchedule(in); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestFormatScheduleNamesAnonymousPhases(t *testing.T) {
+	out := FormatSchedule([]YCSBPhase{{RequestBytes: 64, Duration: time.Second}})
+	if !strings.HasPrefix(out, "phase 1s ") {
+		t.Fatalf("anonymous phase rendered as %q", out)
+	}
+	if _, err := ParseSchedule(out); err != nil {
+		t.Fatalf("canonical form does not reparse: %v", err)
+	}
+}
+
+// FuzzParseSchedule: parsing arbitrary text must never panic, and any
+// schedule it accepts must survive a format → reparse round trip unchanged
+// (the canonical form is a fixpoint).
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("steady 5s write=0.5 bytes=4096 cache=0.3 ops=100\n")
+	f.Add("# comment\nwarmup 2m0s write=1 bytes=1048576 cache=0 ops=100\nburst 0s bytes=4096\n")
+	f.Add("a 1h1m1s bytes=1 ops=0.0001\n")
+	f.Add("x 0 bytes=9223372036854775807\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		phases, err := ParseSchedule(in)
+		if err != nil {
+			return
+		}
+		out := FormatSchedule(phases)
+		again, err := ParseSchedule(out)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ninput: %q\ncanonical: %q", err, in, out)
+		}
+		if !reflect.DeepEqual(again, phases) {
+			t.Fatalf("round trip changed the schedule:\n%+v\nvs\n%+v\ncanonical: %q", phases, again, out)
+		}
+		if out2 := FormatSchedule(again); out2 != out {
+			t.Fatalf("canonical form is not a fixpoint: %q vs %q", out, out2)
+		}
+	})
+}
