@@ -98,6 +98,57 @@ func benchmarkFigure5AtWorkers(b *testing.B, workers int) {
 	experiments.ResetRunCache()
 }
 
+// BenchmarkFigure5DiskCacheCold measures the full Figure 5 rebuild while
+// populating the persistent cache: the one-time cost a -cachedir user pays.
+func BenchmarkFigure5DiskCacheCold(b *testing.B) {
+	benchmarkFigure5Disk(b, false)
+}
+
+// BenchmarkFigure5DiskCacheWarm is the payoff: the same rebuild with every
+// run already on disk and the in-memory cache dropped each iteration, as a
+// fresh `smartconf-bench -cachedir` process would see it. Zero simulations
+// execute; ns/op is pure decode + render.
+func BenchmarkFigure5DiskCacheWarm(b *testing.B) {
+	benchmarkFigure5Disk(b, true)
+}
+
+func benchmarkFigure5Disk(b *testing.B, warm bool) {
+	experiments.ResetRunCache()
+	defer func() {
+		experiments.EnablePersistentRunCache("")
+		experiments.ResetRunCache()
+	}()
+	if err := experiments.EnablePersistentRunCache(b.TempDir()); err != nil {
+		b.Fatal(err)
+	}
+	if warm {
+		experiments.BuildFigure5() // populate the disk outside the timer
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			// Point the layer at an empty directory so every iteration
+			// simulates and stores, rather than reloading iteration 1's files.
+			b.StopTimer()
+			if err := experiments.EnablePersistentRunCache(b.TempDir()); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		experiments.ResetRunCache()
+		rows := experiments.BuildFigure5()
+		if len(rows) != 6 {
+			b.Fatal("missing scenarios")
+		}
+	}
+	b.StopTimer()
+	if warm {
+		if exec, _ := experiments.RunCacheStats(); exec != 0 {
+			b.Fatalf("warm iteration executed %d simulations", exec)
+		}
+	}
+}
+
 // Per-issue Figure 5 rows, for quicker single-issue regeneration.
 func benchFigure5Row(b *testing.B, id string) {
 	sc, ok := experiments.ScenarioByID(id)

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -136,18 +138,63 @@ func renderArtifacts(ids []string) (string, error) {
 	return b.String(), nil
 }
 
+// main delegates to run so deferred profile writers execute before the
+// process exits (os.Exit skips defers).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	only := flag.String("only", "", "render a single artifact (see -list)")
 	list := flag.Bool("list", false, "list artifact ids and exit")
 	csvDir := flag.String("csv", "", "also write the figure time series as CSV files into this directory")
 	parallel := flag.Int("parallel", engine.Workers(), "number of concurrent simulation workers")
+	cacheDir := flag.String("cachedir", "", "persist simulation results in this directory and reuse them across runs")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	engine.SetWorkers(*parallel)
+
+	if *cacheDir != "" {
+		if err := experiments.EnablePersistentRunCache(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "cachedir: %v\n", err)
+			return 1
+		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir); err != nil {
 			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote figure series CSVs to %s\n", *csvDir)
 	}
@@ -161,21 +208,30 @@ func main() {
 		for _, id := range ids {
 			fmt.Printf("%-8s %s\n", id, titles[id])
 		}
-		return
+		return 0
 	}
 
 	ids := order
 	if *only != "" {
 		if _, ok := artifacts[*only]; !ok {
 			fmt.Fprint(os.Stderr, unknownArtifact(*only))
-			os.Exit(2)
+			return 2
 		}
 		ids = []string{*only}
 	}
 	out, err := renderArtifacts(ids)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(out)
+	if *cacheDir != "" {
+		// To stderr so the rendered artifacts stay byte-identical with and
+		// without the cache.
+		executed, _ := experiments.RunCacheStats()
+		loaded, written := experiments.PersistentRunCacheStats()
+		fmt.Fprintf(os.Stderr, "run cache: %d simulated, %d loaded from %s, %d written\n",
+			executed, loaded, *cacheDir, written)
+	}
+	return 0
 }

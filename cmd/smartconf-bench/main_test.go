@@ -103,6 +103,54 @@ func TestOutputByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestWarmDiskCacheRebuildsEverythingWithoutSimulating is the persistent
+// layer's full-artifact guarantee: after one cold build into -cachedir, a
+// fresh process (emulated by dropping the in-memory cache) re-renders every
+// simulation-backed artifact from disk alone — zero simulations executed —
+// and the bytes match the cold run exactly.
+func TestWarmDiskCacheRebuildsEverythingWithoutSimulating(t *testing.T) {
+	ids := make([]string, 0, len(order))
+	for _, id := range order {
+		switch id {
+		case "table2", "table3", "table4", "table5":
+			continue
+		}
+		ids = append(ids, id)
+	}
+
+	experiments.ResetRunCache()
+	defer func() {
+		experiments.EnablePersistentRunCache("")
+		experiments.ResetRunCache()
+	}()
+	if err := experiments.EnablePersistentRunCache(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := renderArtifacts(ids)
+	if err != nil {
+		t.Fatalf("cold render: %v", err)
+	}
+	execCold, _ := experiments.RunCacheStats()
+
+	experiments.ResetRunCache()
+	warm, err := renderArtifacts(ids)
+	if err != nil {
+		t.Fatalf("warm render: %v", err)
+	}
+	exec, _ := experiments.RunCacheStats()
+	loaded, _ := experiments.PersistentRunCacheStats()
+	if exec != 0 {
+		t.Errorf("warm rebuild executed %d simulations (cold executed %d), want 0", exec, execCold)
+	}
+	if loaded == 0 {
+		t.Error("warm rebuild loaded nothing from the disk cache")
+	}
+	if warm != cold {
+		t.Error("warm rebuild output differs from the cold build")
+	}
+}
+
 func BenchmarkFigureLLMKV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.ResetRunCache()

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"smartconf/internal/core"
@@ -32,9 +34,17 @@ var profilers = map[string]struct {
 	"LLMKV":  {"max.num.batched.tokens", experiments.ProfileLLMKV},
 }
 
+// main delegates to run so deferred profile writers execute before the
+// process exits (os.Exit skips defers).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	issue := flag.String("issue", "", "benchmark issue id (CA6059, HB2149, HB3813, HB6728, HD4995, MR2820, LLMKV)")
 	out := flag.String("out", ".", "directory for the <conf>.SmartConf.sys file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	p, ok := profilers[*issue]
@@ -48,25 +58,55 @@ func main() {
 		for _, id := range ids {
 			fmt.Fprintf(os.Stderr, "  %s (%s)\n", id, profilers[id].conf)
 		}
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	profile := p.run()
 	model, err := profile.Fit()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "profiling %s: %v\n", *issue, err)
-		os.Exit(1)
+		return 1
 	}
 	path := filepath.Join(*out, p.conf+".SmartConf.sys")
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	defer f.Close()
 	if err := sysfile.EncodeProfile(f, profile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("profiled %s (%s): %d samples over %d settings\n",
@@ -75,4 +115,5 @@ func main() {
 	fmt.Printf("  λ = %.4f  Δ = %.3f  pole = %.3f\n",
 		profile.Lambda(), profile.Delta(), core.PoleFromDelta(profile.Delta()))
 	fmt.Printf("  wrote %s\n", path)
+	return 0
 }

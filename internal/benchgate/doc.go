@@ -1,0 +1,11 @@
+// Package benchgate turns BENCH_engine.json from documentation into a
+// regression gate. Its test re-measures the zero-allocation hot paths the
+// engine depends on — event scheduling, meter marks, latency observation —
+// with testing.Benchmark and fails if any of them allocates more per op
+// than the recorded baseline. Allocation counts are deterministic, so that
+// check is exact and CI-stable; wall-clock drift is reported as a warning
+// only, because ns/op on shared CI hosts is noise.
+//
+// The gate is skipped under the race detector (whose instrumentation both
+// allocates and slows everything) and under -short.
+package benchgate

@@ -1,0 +1,113 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"smartconf/internal/metrics"
+	"smartconf/internal/sim"
+)
+
+// baselinePath locates BENCH_engine.json relative to this package.
+const baselinePath = "../../BENCH_engine.json"
+
+// timeWarnFactor is how far ns/op may drift past the recorded baseline
+// before the gate logs a warning. Generous on purpose: the baseline host and
+// the CI host differ, and timing is advisory here — allocations are the
+// enforced contract.
+const timeWarnFactor = 2.0
+
+type baselineEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp *int64  `json:"allocs_per_op"`
+	Note        string  `json:"note"`
+}
+
+type baselineFile struct {
+	Benchmarks map[string]baselineEntry `json:"benchmarks"`
+}
+
+// The gated hot paths. Each body replicates the published benchmark of the
+// same name, so a number in BENCH_engine.json and a gate measurement are the
+// same experiment.
+var gated = []struct {
+	key   string
+	bench func(b *testing.B)
+}{
+	{"smartconf/internal/sim.BenchmarkSimSchedule", func(b *testing.B) {
+		s := sim.NewWithCapacity(1)
+		fn := func() {}
+		t := time.Duration(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t += time.Millisecond
+			s.At(t, fn)
+			s.Run()
+		}
+	}},
+	{"smartconf/internal/metrics.BenchmarkMeterMark", func(b *testing.B) {
+		m := metrics.NewMeter(time.Second)
+		now := time.Duration(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now += 100 * time.Microsecond
+			m.Mark(now, 1)
+		}
+	}},
+	{"smartconf/internal/metrics.BenchmarkLatencyObserve", func(b *testing.B) {
+		l := metrics.NewLatency(512)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.Observe(time.Duration(i%1000) * time.Microsecond)
+		}
+	}},
+}
+
+// TestHotPathAllocationsVsBaseline fails the build when a gated hot path
+// allocates more per operation than BENCH_engine.json records. New
+// allocations on these paths multiply across millions of simulated events,
+// and every one of them has been deliberately engineered away; reintroducing
+// one should be a conscious, baseline-bumping decision, not an accident.
+func TestHotPathAllocationsVsBaseline(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts and timing")
+	}
+	if testing.Short() {
+		t.Skip("benchmark gate skipped in -short mode")
+	}
+
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+
+	for _, g := range gated {
+		entry, ok := base.Benchmarks[g.key]
+		if !ok {
+			t.Errorf("%s: gated benchmark has no baseline entry — record one", g.key)
+			continue
+		}
+		r := testing.Benchmark(g.bench)
+		if r.N == 0 {
+			t.Errorf("%s: benchmark did not run", g.key)
+			continue
+		}
+		allocs := r.AllocsPerOp()
+		if entry.AllocsPerOp == nil {
+			t.Errorf("%s: baseline records no allocs_per_op for a gated path", g.key)
+		} else if allocs > *entry.AllocsPerOp {
+			t.Errorf("%s: %d allocs/op, baseline %d — a new allocation crept onto the hot path (bump the baseline only if intentional)",
+				g.key, allocs, *entry.AllocsPerOp)
+		}
+		if ns := float64(r.NsPerOp()); entry.NsPerOp > 0 && ns > entry.NsPerOp*timeWarnFactor {
+			t.Logf("warn: %s at %.1f ns/op vs %.1f recorded (×%.1f) — advisory only, host timing varies",
+				g.key, ns, entry.NsPerOp, ns/entry.NsPerOp)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package benchgate
+
+const raceEnabled = false

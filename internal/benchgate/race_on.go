@@ -1,0 +1,8 @@
+//go:build race
+
+package benchgate
+
+// raceEnabled reports whether this binary was built with -race; the gate
+// skips itself there because race instrumentation changes both allocation
+// counts and timing.
+const raceEnabled = true

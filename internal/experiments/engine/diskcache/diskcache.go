@@ -1,0 +1,201 @@
+// Package diskcache persists memoized simulation results across processes.
+//
+// It is the disk layer beneath the engine's in-memory single-flight cache: a
+// content-addressed directory of JSON envelopes, one file per run key, so a
+// warm rebuild of every figure and ablation executes zero simulations even in
+// a fresh process. The package is a leaf — it knows nothing about scenarios
+// or results, only about encoding a (key, value) pair deterministically — so
+// the engine can import it without a cycle.
+//
+// Correctness over reuse: any defect in a cache file (truncation, a stale
+// format, a version stamp from older scenario code, a key that does not match
+// its filename) turns into a miss, never an error. The caller recomputes and
+// overwrites. Files are written via temp-file + rename, so concurrent
+// processes sharing a directory can only ever observe complete envelopes.
+//
+// Determinism: envelopes are encoded with encoding/json over fixed-order
+// structs — never encoding/gob, whose map encoding is randomized — so the
+// bytes for a given (stamp, key, value) are identical across processes and
+// worker counts, and cache directories can be diffed or content-addressed.
+package diskcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// formatVersion is bumped whenever the envelope layout changes; files with
+// any other format are misses.
+const formatVersion = "smartconf-runcache/1"
+
+// Key identifies one deterministic run, mirroring engine.Key. The Stamp is
+// the caller's scenario-code version: results computed by different scenario
+// code must never satisfy each other, so the stamp participates in both the
+// filename hash and the load-time match.
+type Key struct {
+	Stamp    string `json:"stamp"`
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	Seed     int64  `json:"seed"`
+	Schedule string `json:"schedule"`
+}
+
+// envelope is the on-disk file layout. Field order is fixed by the struct
+// declaration, which is what makes the encoded bytes deterministic.
+type envelope struct {
+	Format string          `json:"format"`
+	Key    Key             `json:"key"`
+	Value  json.RawMessage `json:"value"`
+}
+
+var (
+	mu  sync.RWMutex
+	dir string // empty = disabled
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	stores    atomic.Uint64
+	storeSkip atomic.Uint64
+)
+
+// Configure enables the cache rooted at d (creating it if needed) or
+// disables it when d is empty. Returns any directory-creation error; the
+// cache stays disabled on failure.
+func Configure(d string) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if d == "" {
+		dir = ""
+		return nil
+	}
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		dir = ""
+		return err
+	}
+	dir = d
+	return nil
+}
+
+// Enabled reports whether a cache directory is configured.
+func Enabled() bool {
+	mu.RLock()
+	defer mu.RUnlock()
+	return dir != ""
+}
+
+// path maps a key to its cache file: the sha256 of the key's canonical JSON,
+// hex-encoded. Content addressing makes collisions between distinct keys
+// cryptographically negligible, and the load-time key match catches even
+// those (plus hand-renamed files).
+func path(root string, k Key) string {
+	b, err := json.Marshal(k)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return filepath.Join(root, hex.EncodeToString(sum[:])+".json")
+}
+
+// Load retrieves the value cached for k. ok is false on any failure — a
+// missing file, unreadable bytes, a format or stamp or key mismatch, or a
+// value that does not decode into T — and the caller recomputes.
+func Load[T any](k Key) (v T, ok bool) {
+	mu.RLock()
+	root := dir
+	mu.RUnlock()
+	if root == "" {
+		return v, false
+	}
+	p := path(root, k)
+	if p == "" {
+		misses.Add(1)
+		return v, false
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		misses.Add(1)
+		return v, false
+	}
+	var env envelope
+	if json.Unmarshal(b, &env) != nil || env.Format != formatVersion || env.Key != k {
+		misses.Add(1)
+		return v, false
+	}
+	if json.Unmarshal(env.Value, &v) != nil {
+		misses.Add(1)
+		var zero T
+		return zero, false
+	}
+	hits.Add(1)
+	return v, true
+}
+
+// Store writes the value computed for k. Best-effort: encoding or I/O
+// failures are silent (the run succeeded; only its reuse is lost) but
+// counted in Stats. Values that do not survive a JSON round trip exactly
+// (NaN fields, unexported state, non-string map keys) are skipped rather
+// than cached lossily — a cache that returns almost the computed result
+// would break byte-identical artifact rebuilds.
+func Store[T any](k Key, v T) {
+	mu.RLock()
+	root := dir
+	mu.RUnlock()
+	if root == "" {
+		return
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		storeSkip.Add(1)
+		return
+	}
+	var back T
+	if json.Unmarshal(raw, &back) != nil || !reflect.DeepEqual(back, v) {
+		storeSkip.Add(1)
+		return
+	}
+	env := envelope{Format: formatVersion, Key: k, Value: raw}
+	b, err := json.Marshal(env)
+	if err != nil {
+		storeSkip.Add(1)
+		return
+	}
+	p := path(root, k)
+	if p == "" {
+		storeSkip.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(root, "store-*.tmp")
+	if err != nil {
+		storeSkip.Add(1)
+		return
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), p) != nil {
+		os.Remove(tmp.Name())
+		storeSkip.Add(1)
+		return
+	}
+	stores.Add(1)
+}
+
+// Stats reports cumulative counters since process start (or ResetStats):
+// successful loads, load failures of any kind, completed writes, and writes
+// skipped or failed.
+func Stats() (loadHits, loadMisses, writes, writeSkips uint64) {
+	return hits.Load(), misses.Load(), stores.Load(), storeSkip.Load()
+}
+
+// ResetStats zeroes the counters (tests).
+func ResetStats() {
+	hits.Store(0)
+	misses.Store(0)
+	stores.Store(0)
+	storeSkip.Store(0)
+}

@@ -1,0 +1,201 @@
+package diskcache
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+type fakeResult struct {
+	Name    string
+	P95     time.Duration
+	Scores  []float64
+	Nested  map[string]int
+	Reached bool
+}
+
+func sample() fakeResult {
+	return fakeResult{
+		Name:    "hb3813",
+		P95:     137 * time.Millisecond,
+		Scores:  []float64{0.25, 1e-9, 3},
+		Nested:  map[string]int{"violations": 2, "periods": 600},
+		Reached: true,
+	}
+}
+
+func key() Key {
+	return Key{Stamp: "v1", Scenario: "HB3813", Policy: "smartconf", Seed: 42, Schedule: "fig5"}
+}
+
+// configure points the cache at a fresh per-test directory and restores the
+// disabled state afterwards.
+func configure(t *testing.T) string {
+	t.Helper()
+	d := t.TempDir()
+	if err := Configure(d); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { Configure("") })
+	ResetStats()
+	return d
+}
+
+func TestDisabledByDefault(t *testing.T) {
+	Configure("")
+	if Enabled() {
+		t.Fatal("cache enabled with empty dir")
+	}
+	Store(key(), sample())
+	if _, ok := Load[fakeResult](key()); ok {
+		t.Error("disabled cache served a value")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	configure(t)
+	want := sample()
+	Store(key(), want)
+	got, ok := Load[fakeResult](key())
+	if !ok {
+		t.Fatal("stored value not loadable")
+	}
+	if got.Name != want.Name || got.P95 != want.P95 || !got.Reached ||
+		len(got.Scores) != 3 || got.Scores[1] != 1e-9 || got.Nested["periods"] != 600 {
+		t.Errorf("round trip mangled the value: %+v", got)
+	}
+	if h, m, w, s := Stats(); h != 1 || m != 0 || w != 1 || s != 0 {
+		t.Errorf("stats = (%d,%d,%d,%d), want (1,0,1,0)", h, m, w, s)
+	}
+}
+
+func TestMissOnAbsent(t *testing.T) {
+	configure(t)
+	if _, ok := Load[fakeResult](key()); ok {
+		t.Error("empty cache reported a hit")
+	}
+	if _, m, _, _ := Stats(); m != 1 {
+		t.Errorf("misses = %d, want 1", m)
+	}
+}
+
+// A different stamp means different scenario code: its results must be
+// invisible, not almost-right.
+func TestStampMismatchIsMiss(t *testing.T) {
+	configure(t)
+	Store(key(), sample())
+	k2 := key()
+	k2.Stamp = "v2"
+	if _, ok := Load[fakeResult](k2); ok {
+		t.Error("stale stamp served a cached value")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	configure(t)
+	k := key()
+	Store(k, sample())
+	for _, mut := range []func(*Key){
+		func(k *Key) { k.Scenario = "MR2820" },
+		func(k *Key) { k.Policy = "static" },
+		func(k *Key) { k.Seed = 43 },
+		func(k *Key) { k.Schedule = "fig7" },
+	} {
+		k2 := key()
+		mut(&k2)
+		if _, ok := Load[fakeResult](k2); ok {
+			t.Errorf("key %+v aliased %+v", k2, k)
+		}
+	}
+}
+
+// Every flavor of on-disk damage degrades to a miss, never an error or a
+// wrong value.
+func TestCorruptionIsMiss(t *testing.T) {
+	d := configure(t)
+	Store(key(), sample())
+	files, err := filepath.Glob(filepath.Join(d, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files = %v (err %v), want exactly one", files, err)
+	}
+	f := files[0]
+	orig, _ := os.ReadFile(f)
+
+	for name, bytes := range map[string][]byte{
+		"truncated":    orig[:len(orig)/2],
+		"empty":        {},
+		"not-json":     []byte("#!garbage"),
+		"wrong-format": []byte(`{"format":"smartconf-runcache/0","key":{},"value":{}}`),
+	} {
+		if err := os.WriteFile(f, bytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := Load[fakeResult](key()); ok {
+			t.Errorf("%s file served a value", name)
+		}
+	}
+
+	// A valid envelope renamed onto the wrong key (or a hash collision)
+	// fails the embedded-key match.
+	if err := os.WriteFile(f, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k2 := key()
+	k2.Seed = 99
+	if err := os.Rename(f, path(d, k2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Load[fakeResult](k2); ok {
+		t.Error("renamed envelope served a value for the wrong key")
+	}
+}
+
+// Values that cannot survive a JSON round trip exactly must be skipped, not
+// cached lossily.
+func TestNonFaithfulValueSkipped(t *testing.T) {
+	d := configure(t)
+	type withNaN struct{ X float64 }
+	Store(Key{Stamp: "v1", Scenario: "nan"}, withNaN{X: math.NaN()})
+	if files, _ := filepath.Glob(filepath.Join(d, "*")); len(files) != 0 {
+		t.Errorf("NaN value was written: %v", files)
+	}
+	if _, _, w, s := Stats(); w != 0 || s != 1 {
+		t.Errorf("writes=%d skips=%d, want 0,1", w, s)
+	}
+}
+
+// The same (key, value) always produces the same file bytes — the property
+// that makes warm rebuilds byte-identical and cache dirs diffable.
+func TestDeterministicBytes(t *testing.T) {
+	d1 := t.TempDir()
+	d2 := t.TempDir()
+	defer Configure("")
+	for _, d := range []string{d1, d2} {
+		if err := Configure(d); err != nil {
+			t.Fatal(err)
+		}
+		Store(key(), sample())
+	}
+	b1, err1 := os.ReadFile(path(d1, key()))
+	b2, err2 := os.ReadFile(path(d2, key()))
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("encodings differ:\n%s\n%s", b1, b2)
+	}
+}
+
+func TestStoreOverwrites(t *testing.T) {
+	configure(t)
+	v := sample()
+	Store(key(), v)
+	v.P95 = 999 * time.Millisecond
+	Store(key(), v)
+	got, ok := Load[fakeResult](key())
+	if !ok || got.P95 != 999*time.Millisecond {
+		t.Errorf("overwrite not visible: ok=%v P95=%v", ok, got.P95)
+	}
+}

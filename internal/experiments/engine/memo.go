@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+
+	"smartconf/internal/experiments/engine/diskcache"
 )
 
 // Key identifies one deterministic simulation run. Two runs with equal keys
@@ -36,6 +38,12 @@ var (
 // Memo returns the cached result for k, computing it at most once
 // process-wide. Concurrent calls for the same key block on a single
 // in-flight computation rather than duplicating work (single-flight).
+//
+// When the persistent layer is on (EnableDiskCache), a first-in-process key
+// consults the disk before simulating and writes its computed result back,
+// so a warm rebuild in a fresh process executes nothing. Disk-satisfied
+// entries count in DiskLoads, not in Stats' executed — the executed counter
+// remains "simulations actually run in this process".
 func Memo[T any](k Key, compute func() T) T {
 	memoMu.Lock()
 	e, ok := memoMap[k]
@@ -47,6 +55,19 @@ func Memo[T any](k Key, compute func() T) T {
 	first := false
 	e.once.Do(func() {
 		first = true
+		if diskcache.Enabled() {
+			dk := diskKey(k)
+			if v, ok := diskcache.Load[T](dk); ok {
+				diskLoads.Add(1)
+				e.val = v
+				return
+			}
+			executed.Add(1)
+			v := compute()
+			e.val = v
+			diskcache.Store(dk, v)
+			return
+		}
 		executed.Add(1)
 		e.val = compute()
 	})
@@ -64,6 +85,7 @@ func ResetCache() {
 	memoMu.Unlock()
 	executed.Store(0)
 	hits.Store(0)
+	diskLoads.Store(0)
 }
 
 // Stats reports how many computations actually executed versus how many

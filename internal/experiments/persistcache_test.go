@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartconf/internal/experiments/engine"
+)
+
+// The headline property of the persistent layer: after one cold build, a
+// fresh process (emulated by dropping the in-memory layer) rebuilds the full
+// figure from disk alone — zero simulations — and renders byte-identically,
+// at any worker count.
+func TestPersistentRunCacheWarmRebuild(t *testing.T) {
+	ResetRunCache()
+	defer func() {
+		EnablePersistentRunCache("")
+		ResetRunCache()
+	}()
+	if err := EnablePersistentRunCache(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := RenderFigure5(BuildFigure5())
+	execCold, _ := RunCacheStats()
+	if execCold == 0 {
+		t.Fatal("cold build executed no simulations")
+	}
+	_, written := PersistentRunCacheStats()
+	if written == 0 {
+		t.Fatal("cold build persisted nothing")
+	}
+
+	ResetRunCache() // drop the in-memory layer: the disk is all that remains
+	warm := RenderFigure5(BuildFigure5())
+	if exec, _ := RunCacheStats(); exec != 0 {
+		t.Errorf("warm rebuild executed %d simulations, want 0", exec)
+	}
+	if loaded, _ := PersistentRunCacheStats(); loaded == 0 {
+		t.Error("warm rebuild loaded nothing from disk")
+	}
+	if warm != cold {
+		t.Errorf("warm rendering differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+
+	// Same again with the worker pool fanned out: placement of disk loads
+	// across goroutines must not leak into the artifact.
+	prev := engine.SetWorkers(8)
+	defer engine.SetWorkers(prev)
+	ResetRunCache()
+	warm8 := RenderFigure5(BuildFigure5())
+	if exec, _ := RunCacheStats(); exec != 0 {
+		t.Errorf("warm 8-worker rebuild executed %d simulations, want 0", exec)
+	}
+	if warm8 != cold {
+		t.Error("8-worker warm rendering differs from sequential cold rendering")
+	}
+}
+
+// Damaged or stale cache files fall back to recomputation and still produce
+// the identical artifact — the cache can make a build faster, never wrong.
+func TestPersistentRunCacheCorruptionFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	ResetRunCache()
+	defer func() {
+		EnablePersistentRunCache("")
+		ResetRunCache()
+	}()
+	if err := EnablePersistentRunCache(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := RenderFigure5(BuildFigure5())
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no cache files written (err %v)", err)
+	}
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("corrupt"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ResetRunCache()
+	execBefore, _ := RunCacheStats()
+	rebuilt := RenderFigure5(BuildFigure5())
+	if exec, _ := RunCacheStats(); exec == execBefore {
+		t.Error("corrupted cache served results instead of recomputing")
+	}
+	if rebuilt != cold {
+		t.Error("rebuild after corruption differs from the original artifact")
+	}
+}

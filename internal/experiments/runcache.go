@@ -88,8 +88,36 @@ func profileSweep(settings []float64, runSetting func(setting float64, record fu
 	return merged.Profile()
 }
 
+// ScenarioVersion stamps every persistent cache entry with the generation of
+// the scenario code that computed it. Bump it whenever a change to the
+// scenarios, substrates, controller, workloads or seeds alters any run's
+// result — stale-stamped entries become invisible and everything recomputes.
+// (Deleting the cache directory has the same effect.)
+const ScenarioVersion = "smartconf-scenarios/1"
+
+// EnablePersistentRunCache layers a cross-process disk cache (rooted at dir)
+// beneath the in-memory run cache, keyed by ScenarioVersion: a warm rebuild
+// of every figure and ablation in a fresh process executes zero simulations
+// and renders byte-identically at any worker count. An empty dir disables
+// the layer. Returns any directory-creation error; the layer stays off on
+// failure.
+func EnablePersistentRunCache(dir string) error {
+	return engine.EnableDiskCache(dir, ScenarioVersion)
+}
+
+// PersistentRunCacheStats reports (runs loaded from disk this process,
+// results written to disk) — the observability behind smartconf-bench's
+// cache summary line.
+func PersistentRunCacheStats() (loaded uint64, written uint64) {
+	loaded = engine.DiskLoads()
+	_, _, written, _ = engine.DiskStats()
+	return loaded, written
+}
+
 // ResetRunCache drops every memoized run and profile. The golden
 // byte-identity test and the benchmarks use it to force fresh simulations.
+// The persistent layer, when enabled, is unaffected: only the in-memory
+// single-flight map and its counters clear.
 func ResetRunCache() { engine.ResetCache() }
 
 // RunCacheStats reports (simulations executed, cache hits) since the last

@@ -25,6 +25,11 @@ var (
 		"runCached": true, "memoResult": true, "memoProfile": true,
 		"memoKeyed": true, "profileSweep": true,
 	}
+	// DiskCachePath is the persistent run-cache package — the one place cache
+	// bytes are encoded. Everything it writes must be a pure, deterministic
+	// function of the (stamp, key, value) triple: no encoding/gob (its map
+	// encoding is randomized per process) and no wall-clock reads.
+	DiskCachePath = "smartconf/internal/experiments/engine/diskcache"
 )
 
 // CacheKeyAnalyzer enforces run-cache discipline in the experiments package:
@@ -34,11 +39,15 @@ var (
 var CacheKeyAnalyzer = &Analyzer{
 	Name: "cachekey",
 	Doc: "experiment drivers must reach simulation through the runcache.go " +
-		"adapters; direct Scenario.Run / engine.Memo calls bypass or mis-key the run cache",
+		"adapters; direct Scenario.Run / engine.Memo calls bypass or mis-key the run cache; " +
+		"the persistent cache layer must encode deterministically (no gob, no wall-clock)",
 	Run: runCacheKey,
 }
 
 func runCacheKey(pass *Pass) error {
+	if pass.Pkg.Path() == DiskCachePath {
+		return runDiskCacheRules(pass)
+	}
 	if pass.Pkg.Path() != ExperimentsPath {
 		return nil
 	}
@@ -52,6 +61,35 @@ func runCacheKey(pass *Pass) error {
 				checkCacheKeyCall(pass, n, parents, inAdapter)
 			case *ast.CompositeLit:
 				checkEngineKeyLit(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// runDiskCacheRules checks the persistent cache layer: cache files must be
+// byte-deterministic across processes and worker counts, which rules out
+// gob (randomized map-entry order) and any wall-clock content. time.Now in
+// a key or envelope would make identical runs produce different cache files
+// and silently defeat the warm-rebuild byte-identity guarantee.
+func runDiskCacheRules(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name := pkgFunc(pass.Info, call)
+			switch path {
+			case "encoding/gob":
+				pass.Reportf(call.Pos(),
+					"encoding/gob in the persistent cache layer: gob output is not byte-deterministic (map encoding order is randomized); encode with encoding/json over fixed-order structs")
+			case "time":
+				if name == "Now" || name == "Since" || name == "Until" {
+					pass.Reportf(call.Pos(),
+						"wall-clock time.%s in the persistent cache layer; cache keys and file bytes must be pure functions of (stamp, key, value)", name)
+				}
 			}
 			return true
 		})

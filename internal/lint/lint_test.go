@@ -162,6 +162,14 @@ func TestCacheKeyAnalyzer(t *testing.T) {
 	runAnalyzerTest(t, lint.CacheKeyAnalyzer, "lint.test/cachekey/experiments")
 }
 
+// TestCacheKeyDiskCacheRules exercises the analyzer's persistent-layer mode:
+// inside the disk-cache package, gob encoding and wall-clock reads are
+// findings regardless of adapter discipline.
+func TestCacheKeyDiskCacheRules(t *testing.T) {
+	defer swap(&lint.DiskCachePath, "lint.test/cachekey/diskcache")()
+	runAnalyzerTest(t, lint.CacheKeyAnalyzer, "lint.test/cachekey/diskcache")
+}
+
 func TestFloatCmpAnalyzer(t *testing.T) {
 	defer swap(&lint.FloatCmpPackages, []string{"lint.test/floatcmp"})()
 	runAnalyzerTest(t, lint.FloatCmpAnalyzer, "lint.test/floatcmp")

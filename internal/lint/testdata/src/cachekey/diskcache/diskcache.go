@@ -1,0 +1,57 @@
+// Package diskcache mirrors the persistent run-cache layer for the cachekey
+// analyzer's disk rules: cache bytes must be deterministic (no encoding/gob)
+// and carry no wall-clock content.
+package diskcache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"time"
+)
+
+type key struct {
+	Scenario string
+	Seed     int64
+}
+
+type envelope struct {
+	Key     key
+	Written time.Duration
+}
+
+// encodeGob is the forbidden path: gob randomizes map-entry order, so the
+// same value encodes to different bytes run to run.
+func encodeGob(k key) []byte {
+	var buf bytes.Buffer
+	gob.NewEncoder(&buf).Encode(k) // want "encoding/gob in the persistent cache layer"
+	return buf.Bytes()
+}
+
+func registerTypes() {
+	gob.Register(key{}) // want "encoding/gob in the persistent cache layer"
+}
+
+// encodeJSON is the sanctioned encoder: fixed-order struct fields make the
+// bytes a pure function of the value.
+func encodeJSON(k key) []byte {
+	b, _ := json.Marshal(k)
+	return b
+}
+
+func stampEnvelope(k key) envelope {
+	e := envelope{Key: k}
+	e.Written = time.Since(time.Time{}) // want "wall-clock time.Since in the persistent cache layer"
+	return e
+}
+
+func freshness() bool {
+	return time.Now().IsZero() // want "wall-clock time.Now in the persistent cache layer"
+}
+
+// debugTimestamp is operator-facing logging, not cache bytes; the escape
+// hatch records why the wall clock is acceptable here.
+func debugTimestamp() time.Time {
+	//smartconf:allow cachekey -- log line for the operator, never written into cache files
+	return time.Now()
+}

@@ -132,6 +132,7 @@ type Cluster struct {
 
 	jobsDone   metrics.Counter
 	jobsFailed metrics.Counter
+	taskTimes  *metrics.Latency
 
 	// BeforeSchedule, when set, runs before each admission check — the
 	// integration point for this conditional configuration. It receives the
@@ -144,7 +145,7 @@ type Cluster struct {
 
 // New builds a cluster with the given initial minspacestart.
 func New(s *sim.Simulation, cfg Config, minSpaceStart int64) *Cluster {
-	c := &Cluster{sim: s, cfg: cfg, minSpaceStart: minSpaceStart}
+	c := &Cluster{sim: s, cfg: cfg, minSpaceStart: minSpaceStart, taskTimes: metrics.NewLatency(512)}
 	for i := 0; i < cfg.Workers; i++ {
 		c.workers = append(c.workers, &Worker{ID: i, Disk: disksim.NewDisk(cfg.DiskCapacityBytes)})
 	}
@@ -202,6 +203,12 @@ func (c *Cluster) JobsDone() int64 { return c.jobsDone.Value() }
 
 // JobsFailed returns the number of failed jobs.
 func (c *Cluster) JobsFailed() int64 { return c.jobsFailed.Value() }
+
+// TaskTimes returns the map-task completion-time tracker: wall time from
+// launch to shuffle-off, over the last 512 completed tasks. Admission
+// stalls show up here before they show up in whole-job latency, so it is
+// the natural per-period sensor for minspacestart controllers.
+func (c *Cluster) TaskTimes() *metrics.Latency { return c.taskTimes }
 
 // Busy reports whether a job is currently running.
 func (c *Cluster) Busy() bool { return c.current != nil }
@@ -262,6 +269,7 @@ func (c *Cluster) launch(w *Worker, js *jobState, t task) {
 	rem := t.bytes - chunkBytes*int64(chunks)
 	total := time.Duration(float64(t.bytes) / float64(c.cfg.TaskBytesPerSec) * float64(time.Second))
 	step := total / time.Duration(chunks)
+	started := c.sim.Now()
 
 	var written int64
 	var writeChunk func(i int)
@@ -296,6 +304,7 @@ func (c *Cluster) launch(w *Worker, js *jobState, t task) {
 		w.running--
 		js.runningN--
 		js.mapsDone++
+		c.taskTimes.Observe(c.sim.Now() - started)
 		c.schedule()
 	}
 	c.sim.After(step, func() { writeChunk(0) })

@@ -217,3 +217,23 @@ func TestReducePhaseRunsAfterMaps(t *testing.T) {
 		}
 	}
 }
+
+func TestTaskTimesSensor(t *testing.T) {
+	s := sim.New()
+	c := New(s, DefaultConfig(), 0)
+	s.At(0, func() { c.RunJob(testJob(), func(JobResult) {}) })
+	s.RunUntil(10 * time.Minute)
+	lat := c.TaskTimes()
+	if lat.Count() != 10 {
+		t.Fatalf("task samples = %d, want 10 (one per map task)", lat.Count())
+	}
+	// Every task writes 16 MB at 8 MB/s: all completion times are ≈2s
+	// regardless of which wave the task ran in (queueing happens before
+	// launch, not inside the tracked span).
+	want := 2 * time.Second
+	for _, got := range []time.Duration{lat.Mean(), lat.Percentile(50), lat.WindowMax()} {
+		if got < want*9/10 || got > want*11/10 {
+			t.Errorf("task time sensor read %v, want ≈%v", got, want)
+		}
+	}
+}

@@ -129,22 +129,53 @@ func (m *Meter) expire(now time.Duration) {
 // Latency tracks request latencies: a sliding sample window for averages and
 // percentiles, plus the all-time worst case (the sensor behind worst-case
 // block-time constraints like HB2149 and HD4995).
+//
+// Sensor cost model: controllers read percentiles once per control period
+// while the substrate observes a sample per request, so both paths must be
+// cheap. Observe is O(1) and allocation-free in every configuration. For
+// windows above ExactWindowThreshold the tracker additionally maintains a
+// stat.Sketch whose counts follow the live window exactly (each eviction is
+// paired with a sketch removal), making Percentile, Snapshot and WindowMax
+// O(buckets) bucket scans — within stat.RelativeError of the true
+// nearest-rank order statistic — instead of O(n log n) copy-and-sorts. At or
+// below the threshold the window is small enough that the exact
+// interpolated path is already cheap, and its results stay bit-identical to
+// the pre-sketch implementation (small-window goldens and worst-case
+// block-time sensors are exact by construction).
 type Latency struct {
 	window *stat.Window
+	sketch *stat.Sketch // nil when cap ≤ ExactWindowThreshold: exact path
 	worst  time.Duration
 	last   time.Duration
 	count  int64
 	sum    time.Duration
 }
 
+// ExactWindowThreshold is the window capacity above which Latency switches
+// its percentile reads from the exact copy-and-sort path to the streaming
+// sketch.
+const ExactWindowThreshold = 128
+
 // NewLatency returns a tracker keeping the most recent n samples.
 func NewLatency(n int) *Latency {
-	return &Latency{window: stat.NewWindow(n)}
+	l := &Latency{window: stat.NewWindow(n)}
+	if n > ExactWindowThreshold {
+		l.sketch = stat.NewSketch()
+	}
+	return l
 }
 
-// Observe records one latency sample.
+// Observe records one latency sample. O(1), never allocates — this is the
+// per-request hot path in every substrate.
 func (l *Latency) Observe(d time.Duration) {
-	l.window.Push(d.Seconds())
+	x := d.Seconds()
+	evicted, ok := l.window.PushEvict(x)
+	if l.sketch != nil {
+		l.sketch.Observe(x)
+		if ok {
+			l.sketch.Remove(evicted)
+		}
+	}
 	if d > l.worst {
 		l.worst = d
 	}
@@ -157,7 +188,8 @@ func (l *Latency) Observe(d time.Duration) {
 // reading: unlike Worst or WindowMax it reflects adjustments immediately).
 func (l *Latency) Last() time.Duration { return l.last }
 
-// Mean returns the mean latency over the sample window.
+// Mean returns the mean latency over the sample window. O(1) in both modes:
+// the window keeps streaming sums, so no samples are walked.
 func (l *Latency) Mean() time.Duration {
 	return time.Duration(l.window.Mean() * float64(time.Second))
 }
@@ -171,8 +203,15 @@ func (l *Latency) OverallMean() time.Duration {
 }
 
 // Percentile returns the q-th percentile over the sample window (0 when the
-// window is empty).
+// window is empty or q is out of range). Sketch-mode trackers answer from
+// the bucket histogram without copying or sorting.
 func (l *Latency) Percentile(q float64) time.Duration {
+	if l.sketch != nil {
+		if q < 0 || q > 100 {
+			return 0
+		}
+		return time.Duration(l.sketch.Quantile(q) * float64(time.Second))
+	}
 	v, err := stat.Percentile(l.window.Snapshot(), q)
 	if err != nil {
 		return 0
@@ -180,8 +219,12 @@ func (l *Latency) Percentile(q float64) time.Duration {
 	return time.Duration(v * float64(time.Second))
 }
 
-// WindowMax returns the largest sample currently in the window.
+// WindowMax returns the largest sample currently in the window (within
+// stat.RelativeError in sketch mode; exact otherwise).
 func (l *Latency) WindowMax() time.Duration {
+	if l.sketch != nil {
+		return time.Duration(l.sketch.Max() * float64(time.Second))
+	}
 	return time.Duration(l.window.Max() * float64(time.Second))
 }
 
@@ -203,13 +246,20 @@ type LatencySnapshot struct {
 
 // Snapshot returns count, mean, p50, p95 and worst in one call, so
 // experiment renderers and CSV writers do not recompute percentiles
-// piecemeal from the same window. Both percentiles come from a single copy
-// and sort of the window (stat.Percentiles), not one sort per quantile.
+// piecemeal from the same window. Sketch-mode trackers read both
+// percentiles from one cumulative bucket scan without allocating; exact
+// trackers use a single copy and sort (stat.Percentiles).
 func (l *Latency) Snapshot() LatencySnapshot {
 	snap := LatencySnapshot{
 		Count: l.count,
 		Mean:  l.Mean(),
 		Worst: l.worst,
+	}
+	if l.sketch != nil {
+		p50, p95 := l.sketch.QuantilePair(50, 95)
+		snap.P50 = time.Duration(p50 * float64(time.Second))
+		snap.P95 = time.Duration(p95 * float64(time.Second))
+		return snap
 	}
 	if ps, err := stat.Percentiles(l.window.Snapshot(), 50, 95); err == nil {
 		snap.P50 = time.Duration(ps[0] * float64(time.Second))
@@ -222,6 +272,9 @@ func (l *Latency) Snapshot() LatencySnapshot {
 // constraint's horizon restarts).
 func (l *Latency) Reset() {
 	l.window.Reset()
+	if l.sketch != nil {
+		l.sketch.Reset()
+	}
 	l.worst = 0
 	l.last = 0
 	l.count = 0

@@ -1,8 +1,12 @@
 package metrics
 
 import (
+	"math"
+	"sort"
 	"testing"
 	"time"
+
+	"smartconf/internal/stat"
 )
 
 func TestGauge(t *testing.T) {
@@ -193,6 +197,101 @@ func TestMeterLazyExpiry(t *testing.T) {
 	}
 }
 
+// A sketch-mode tracker (window above ExactWindowThreshold) must agree with
+// the exact nearest-rank percentile to within the sketch's documented
+// relative error, across the whole read surface.
+func TestLatencySketchModeAccuracy(t *testing.T) {
+	l := NewLatency(512)
+	var live []time.Duration
+	for i := 0; i < 2000; i++ {
+		d := time.Duration((i*i*7919)%500000+1000) * time.Microsecond
+		l.Observe(d)
+		live = append(live, d)
+		if len(live) > 512 {
+			live = live[1:]
+		}
+	}
+	sorted := append([]time.Duration(nil), live...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	nearest := func(q float64) time.Duration {
+		r := int(math.Ceil(q/100*float64(len(sorted)))) - 1
+		if r < 0 {
+			r = 0
+		}
+		return sorted[r]
+	}
+	for _, q := range []float64{1, 25, 50, 90, 95, 99, 100} {
+		got, want := l.Percentile(q), nearest(q)
+		if diff := math.Abs(got.Seconds() - want.Seconds()); diff > stat.RelativeError*want.Seconds()+1e-12 {
+			t.Errorf("p%v = %v, want %v within %.3g relative", q, got, want, stat.RelativeError)
+		}
+	}
+	wantMax := sorted[len(sorted)-1]
+	if got := l.WindowMax(); math.Abs(got.Seconds()-wantMax.Seconds()) > stat.RelativeError*wantMax.Seconds() {
+		t.Errorf("WindowMax = %v, want %v within %.3g relative", got, wantMax, stat.RelativeError)
+	}
+	s := l.Snapshot()
+	if s.P50 != l.Percentile(50) || s.P95 != l.Percentile(95) {
+		t.Error("sketch-mode Snapshot disagrees with Percentile")
+	}
+	// Reset clears the sketch too: stale buckets would resurrect evicted
+	// samples in the next percentile read.
+	l.Reset()
+	if l.Percentile(95) != 0 || l.WindowMax() != 0 {
+		t.Error("Reset left sketch state behind")
+	}
+	l.Observe(time.Millisecond)
+	if got := l.Percentile(50); got < 900*time.Microsecond || got > 1100*time.Microsecond {
+		t.Errorf("post-reset p50 = %v, want ≈1ms", got)
+	}
+}
+
+// Small-window trackers must keep the exact interpolated percentile path:
+// their goldens (worst-case block-time sensors, boundary tests) are
+// bit-identical to the pre-sketch implementation.
+func TestLatencyExactPathBelowThreshold(t *testing.T) {
+	l := NewLatency(ExactWindowThreshold)
+	for i := 1; i <= ExactWindowThreshold; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	// Interpolated p50 of 1..128 ms is 64.5 ms — a value no sample has; the
+	// nearest-rank sketch path could never produce it.
+	if got := l.Percentile(50); got != 64500*time.Microsecond {
+		t.Errorf("p50 = %v, want exactly 64.5ms (interpolated)", got)
+	}
+	if got := l.WindowMax(); got != 128*time.Millisecond {
+		t.Errorf("WindowMax = %v, want exactly 128ms", got)
+	}
+}
+
+// Observe is the per-request hot path in every substrate; it must not
+// allocate in either mode. Sketch-mode percentile reads are on the
+// per-control-period path and must not allocate either.
+func TestLatencyObserveZeroAlloc(t *testing.T) {
+	exact := NewLatency(64)
+	sketched := NewLatency(512)
+	for i := 0; i < 1024; i++ { // saturate both windows: eviction path included
+		d := time.Duration(i%97+1) * time.Millisecond
+		exact.Observe(d)
+		sketched.Observe(d)
+	}
+	if n := testing.AllocsPerRun(100, func() { exact.Observe(5 * time.Millisecond) }); n != 0 {
+		t.Errorf("exact-mode Observe allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { sketched.Observe(5 * time.Millisecond) }); n != 0 {
+		t.Errorf("sketch-mode Observe allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = sketched.Percentile(95) }); n != 0 {
+		t.Errorf("sketch-mode Percentile allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = sketched.Snapshot() }); n != 0 {
+		t.Errorf("sketch-mode Snapshot allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = sketched.WindowMax() }); n != 0 {
+		t.Errorf("sketch-mode WindowMax allocates %v per op", n)
+	}
+}
+
 // BenchmarkMeterMark exercises the Mark hot path with a sliding window; the
 // lazy early-exit in expire makes the common no-expiry case O(1).
 func BenchmarkMeterMark(b *testing.B) {
@@ -206,6 +305,16 @@ func BenchmarkMeterMark(b *testing.B) {
 	}
 }
 
+// BenchmarkLatencyObserve is the per-request sensor cost every substrate
+// pays (sketch mode: window 512 plus histogram maintenance).
+func BenchmarkLatencyObserve(b *testing.B) {
+	l := NewLatency(512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
 func BenchmarkLatencySnapshot(b *testing.B) {
 	l := NewLatency(512)
 	for i := 0; i < 2048; i++ {
@@ -215,5 +324,19 @@ func BenchmarkLatencySnapshot(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = l.Snapshot()
+	}
+}
+
+// BenchmarkLatencyPercentile is the per-control-period read on a sketch-mode
+// tracker; compare stat.BenchmarkPercentiles2 for the retired sort path.
+func BenchmarkLatencyPercentile(b *testing.B) {
+	l := NewLatency(512)
+	for i := 0; i < 2048; i++ {
+		l.Observe(time.Duration((i*7919)%1000) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Percentile(95)
 	}
 }

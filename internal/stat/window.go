@@ -23,11 +23,17 @@ func NewWindow(capacity int) *Window {
 }
 
 // Push adds a sample, evicting the oldest when the window is full.
-func (w *Window) Push(x float64) {
+func (w *Window) Push(x float64) { w.PushEvict(x) }
+
+// PushEvict adds a sample and reports the sample it displaced, if the window
+// was full. Callers maintaining a derived structure alongside the window
+// (metrics.Latency keeps a quantile Sketch) pair each eviction with the
+// matching removal, so the derived counts track the live samples exactly.
+func (w *Window) PushEvict(x float64) (evicted float64, ok bool) {
 	if w.full {
-		old := w.buf[w.next]
-		w.sum -= old
-		w.sumSq -= old * old
+		evicted, ok = w.buf[w.next], true
+		w.sum -= evicted
+		w.sumSq -= evicted * evicted
 	}
 	w.buf[w.next] = x
 	w.sum += x
@@ -37,6 +43,7 @@ func (w *Window) Push(x float64) {
 		w.next = 0
 		w.full = true
 	}
+	return evicted, ok
 }
 
 // Len reports the number of live samples (≤ capacity).
