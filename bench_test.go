@@ -378,3 +378,18 @@ func BenchmarkExtensionDistributed(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFleetComparison regenerates the full fleet artifact: profiling,
+// the SmartConf fleet and every static fleet, each a 4-instance run under
+// skewed load with a seeded instance loss and restart.
+func BenchmarkFleetComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetRunCache()
+		results := experiments.BuildFleetComparison()
+		for _, r := range results {
+			if r.Policy.Kind == experiments.SmartConfPolicy && !experiments.FleetQualifies(r) {
+				b.Fatalf("SmartConf fleet missed a goal: %s", experiments.RenderFleet(results))
+			}
+		}
+	}
+}

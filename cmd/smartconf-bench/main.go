@@ -79,13 +79,16 @@ var artifacts = map[string]func() (string, error){
 	"chaos": func() (string, error) {
 		return experiments.RenderChaos(experiments.ChaosMatrix(experiments.ChaosSeed)), nil
 	},
+	"fleet": func() (string, error) {
+		return experiments.RenderFleet(experiments.BuildFleetComparison()), nil
+	},
 }
 
 var order = []string{
 	"table2", "table3", "table4", "table5",
 	"table6", "fig5", "fig6", "fig7", "fig8", "table7",
 	"abl-pole", "abl-margin", "abl-interact", "abl-adaptive", "abl-profiling", "robustness", "abl-aimd", "ext-sla", "ext-dist",
-	"llmkv", "chaos",
+	"llmkv", "chaos", "fleet",
 }
 
 var titles = map[string]string{
@@ -110,6 +113,7 @@ var titles = map[string]string{
 	"ext-dist":      "Extension: per-node controllers in a 4-node cluster",
 	"llmkv":         "Extension: LLM serving, KV-cache memory vs batched tokens",
 	"chaos":         "Chaos: fault-injection matrix, invariant verdicts per substrate",
+	"fleet":         "Fleet: coordinated per-node controllers vs static fleets under skew and instance loss",
 }
 
 // unknownArtifact builds the error text for an id that is not registered,

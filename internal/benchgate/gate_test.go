@@ -6,9 +6,17 @@ import (
 	"testing"
 	"time"
 
+	"smartconf/internal/cluster"
 	"smartconf/internal/metrics"
 	"smartconf/internal/sim"
 )
+
+// gateInstance is the minimal cluster.Instance for the router gate.
+type gateInstance struct{ id int }
+
+func (g gateInstance) ID() int       { return g.id }
+func (g gateInstance) Alive() bool   { return true }
+func (g gateInstance) Load() float64 { return float64(g.id) }
 
 // baselinePath locates BENCH_engine.json relative to this package.
 const baselinePath = "../../BENCH_engine.json"
@@ -61,6 +69,16 @@ var gated = []struct {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			l.Observe(time.Duration(i%1000) * time.Microsecond)
+		}
+	}},
+	{"smartconf/internal/cluster.BenchmarkRouterRoute", func(b *testing.B) {
+		r := cluster.NewRouter(cluster.KeyAffinity)
+		for i := 0; i < 16; i++ {
+			r.Add(gateInstance{id: i}, 1)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.RouteExcluding(cluster.Request{Key: uint64(i), Cost: 1}, 0)
 		}
 	}},
 }

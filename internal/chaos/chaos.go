@@ -42,6 +42,10 @@ type Env struct {
 	Loop *Loop
 
 	surge float64
+	// lastKilled remembers the victim index of the most recent InstanceLoss
+	// firing (-1 before any), so an InstanceRestart with Victim < 0 can
+	// resurrect whichever member the seeded loss chose.
+	lastKilled int
 }
 
 // SurgeFactor returns the current workload multiplier (1 outside any
@@ -83,7 +87,7 @@ type Plan struct {
 // loop, for control-loop faults; pass nil when the plan has none). It
 // returns the Env drivers query for surge factors.
 func (p *Plan) Arm(s *sim.Simulation, loop *Loop) *Env {
-	env := &Env{Sim: s, Rand: rand.New(rand.NewSource(p.Seed)), Loop: loop}
+	env := &Env{Sim: s, Rand: rand.New(rand.NewSource(p.Seed)), Loop: loop, lastKilled: -1}
 	if loop != nil {
 		loop.rng = env.Rand
 	}

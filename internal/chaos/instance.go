@@ -1,0 +1,80 @@
+package chaos
+
+import "time"
+
+// Killable is a fleet member that can be killed and resurrected — the
+// surface the rpcserver, llmserve and kvstore substrates expose for
+// instance-level chaos. Kill must be idempotent and release the member's
+// resources; Restart must be a no-op on a member that is not down.
+type Killable interface {
+	Kill()
+	Restart()
+	Alive() bool
+}
+
+// InstanceLoss kills one fleet member at a virtual time: the fleet-scale
+// fault the routing and evacuation machinery must absorb. With Victim < 0
+// the victim index is drawn from the plan's seeded random source, so the
+// same (plan, seed) always kills the same member; the drawn index is
+// remembered in the Env for a paired InstanceRestart.
+type InstanceLoss struct {
+	// At is when the member dies.
+	At time.Duration
+	// Targets is the fleet, in member order.
+	Targets []Killable
+	// Victim indexes Targets; < 0 draws uniformly from the seeded source.
+	Victim int
+}
+
+// Name implements Fault.
+func (f InstanceLoss) Name() string { return "instance-loss" }
+
+// Span implements the windowed-fault extension: the loss persists until a
+// restart, so for oracle purposes the window is open-ended.
+func (f InstanceLoss) Span(horizon time.Duration) Window { return span(f.At, 0, horizon) }
+
+// Arm implements Fault. The victim is drawn at arm time (seeded source,
+// plan order), not at fire time, so composing further faults never shifts
+// which member dies.
+func (f InstanceLoss) Arm(env *Env) {
+	v := f.Victim
+	if v < 0 {
+		v = env.Rand.Intn(len(f.Targets))
+	}
+	env.lastKilled = v
+	env.Sim.At(f.At, func() { f.Targets[v].Kill() })
+}
+
+// InstanceRestart resurrects a killed member at a virtual time — the second
+// half of the loss/restart pair. With Victim < 0 it restarts whichever
+// member the most recently armed InstanceLoss chose (arm an InstanceLoss
+// first, or the restart is a no-op).
+type InstanceRestart struct {
+	// At is when the member comes back.
+	At time.Duration
+	// Targets is the fleet, in member order.
+	Targets []Killable
+	// Victim indexes Targets; < 0 reuses the last armed InstanceLoss victim.
+	Victim int
+}
+
+// Name implements Fault.
+func (f InstanceRestart) Name() string { return "instance-restart" }
+
+// Span implements the windowed-fault extension: the restart is the step
+// disturbance (a cold member rejoins the fleet), so Start == End.
+func (f InstanceRestart) Span(horizon time.Duration) Window {
+	return Window{Start: f.At, End: f.At}
+}
+
+// Arm implements Fault.
+func (f InstanceRestart) Arm(env *Env) {
+	v := f.Victim
+	if v < 0 {
+		v = env.lastKilled
+	}
+	if v < 0 || v >= len(f.Targets) {
+		return
+	}
+	env.Sim.At(f.At, func() { f.Targets[v].Restart() })
+}

@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"smartconf/internal/sim"
+)
+
+// killRecord is a Killable that stamps when it was killed and restarted.
+type killRecord struct {
+	alive       bool
+	killedAt    []time.Duration
+	restartedAt []time.Duration
+	s           *sim.Simulation
+}
+
+func (k *killRecord) Kill() {
+	if !k.alive {
+		return
+	}
+	k.alive = false
+	k.killedAt = append(k.killedAt, k.s.Now())
+}
+
+func (k *killRecord) Restart() {
+	if k.alive {
+		return
+	}
+	k.alive = true
+	k.restartedAt = append(k.restartedAt, k.s.Now())
+}
+
+func (k *killRecord) Alive() bool { return k.alive }
+
+func runLossRestart(seed int64, victim int) (killed []int, trace [][2][]time.Duration) {
+	s := sim.New()
+	members := make([]*killRecord, 4)
+	targets := make([]Killable, 4)
+	for i := range members {
+		members[i] = &killRecord{alive: true, s: s}
+		targets[i] = members[i]
+	}
+	plan := Plan{Name: "loss", Seed: seed, Faults: []Fault{
+		InstanceLoss{At: 10 * time.Second, Targets: targets, Victim: victim},
+		InstanceRestart{At: 30 * time.Second, Targets: targets, Victim: -1},
+	}}
+	plan.Arm(s, nil)
+	s.RunUntil(60 * time.Second)
+	for i, m := range members {
+		if len(m.killedAt) > 0 {
+			killed = append(killed, i)
+		}
+		trace = append(trace, [2][]time.Duration{m.killedAt, m.restartedAt})
+	}
+	return killed, trace
+}
+
+// TestInstanceLossRestartPair checks the pair's contract: exactly one member
+// dies at the loss time, and the SAME member (Victim: -1 on the restart)
+// comes back at the restart time.
+func TestInstanceLossRestartPair(t *testing.T) {
+	killed, trace := runLossRestart(7, -1)
+	if len(killed) != 1 {
+		t.Fatalf("killed members %v, want exactly one", killed)
+	}
+	v := killed[0]
+	if got := trace[v][0]; len(got) != 1 || got[0] != 10*time.Second {
+		t.Fatalf("victim killed at %v, want [10s]", got)
+	}
+	if got := trace[v][1]; len(got) != 1 || got[0] != 30*time.Second {
+		t.Fatalf("victim restarted at %v, want [30s] (paired restart must pick the loss victim)", got)
+	}
+}
+
+// TestInstanceLossReplayIsDeterministic re-arms the same seeded plan and
+// checks the drawn victim and both timestamps replay identically — the
+// property every fleet run cached by (scenario, seed) relies on.
+func TestInstanceLossReplayIsDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		k1, t1 := runLossRestart(seed, -1)
+		k2, t2 := runLossRestart(seed, -1)
+		if k1[0] != k2[0] {
+			t.Fatalf("seed %d: victim diverged across replays: %d vs %d", seed, k1[0], k2[0])
+		}
+		v := k1[0]
+		if !reflect.DeepEqual(t1[v], t2[v]) {
+			t.Fatalf("seed %d: victim trace diverged: %v vs %v", seed, t1[v], t2[v])
+		}
+	}
+}
+
+// TestInstanceLossExplicitVictim pins the victim index directly.
+func TestInstanceLossExplicitVictim(t *testing.T) {
+	killed, _ := runLossRestart(99, 2)
+	if len(killed) != 1 || killed[0] != 2 {
+		t.Fatalf("killed %v, want [2]", killed)
+	}
+}
+
+// TestInstanceRestartWithoutLossIsNoOp arms a bare restart (Victim: -1, no
+// prior loss): nothing to resurrect, nothing happens.
+func TestInstanceRestartWithoutLossIsNoOp(t *testing.T) {
+	s := sim.New()
+	m := &killRecord{alive: true, s: s}
+	plan := Plan{Name: "restart-only", Seed: 1, Faults: []Fault{
+		InstanceRestart{At: 5 * time.Second, Targets: []Killable{m}, Victim: -1},
+	}}
+	plan.Arm(s, nil)
+	s.RunUntil(10 * time.Second)
+	if len(m.restartedAt) != 0 {
+		t.Fatalf("restart fired with no prior loss: %v", m.restartedAt)
+	}
+}
+
+// TestInstanceLossVictimDrawnAtArmTime appends an unrelated fault AFTER the
+// loss in plan order and checks the drawn victim does not shift — the draw
+// happens at arm time in plan order, so composing more faults later in the
+// plan never changes who dies.
+func TestInstanceLossVictimDrawnAtArmTime(t *testing.T) {
+	run := func(extra bool) int {
+		s := sim.New()
+		targets := make([]Killable, 4)
+		members := make([]*killRecord, 4)
+		for i := range members {
+			members[i] = &killRecord{alive: true, s: s}
+			targets[i] = members[i]
+		}
+		faults := []Fault{InstanceLoss{At: 10 * time.Second, Targets: targets, Victim: -1}}
+		if extra {
+			// A second seeded draw later in the plan must not disturb the
+			// first fault's victim.
+			other := []Killable{&killRecord{alive: true, s: s}, &killRecord{alive: true, s: s}}
+			faults = append(faults, InstanceLoss{At: 20 * time.Second, Targets: other, Victim: -1})
+		}
+		plan := Plan{Name: "draw-order", Seed: 42, Faults: faults}
+		plan.Arm(s, nil)
+		s.RunUntil(30 * time.Second)
+		for i, m := range members {
+			if len(m.killedAt) > 0 {
+				return i
+			}
+		}
+		return -1
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("victim shifted from %d to %d when a later fault was appended", a, b)
+	}
+}

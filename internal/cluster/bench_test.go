@@ -1,0 +1,17 @@
+package cluster
+
+import "testing"
+
+// BenchmarkRouterRoute measures one routing decision on the key-affinity
+// policy (the most work per decision: one rendezvous hash per member) over a
+// 16-member fleet. The number in BENCH_engine.json is re-measured by
+// internal/benchgate, which fails CI if this path ever allocates.
+func BenchmarkRouterRoute(b *testing.B) {
+	fakes := newFakes(16)
+	r := routerOver(KeyAffinity, fakes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RouteExcluding(Request{Key: uint64(i), Cost: 1}, 0)
+	}
+}

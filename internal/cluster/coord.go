@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"math"
+
+	"smartconf"
+)
+
+// AdmissionControl is the slice of the fleet the coordinator drives: the
+// global deputy signal and the global admission knob. Fleet[R] satisfies it
+// for any R.
+type AdmissionControl interface {
+	TotalLoad() float64
+	SetMaxInFlight(int)
+}
+
+// NodeControl wires one fleet member's knob to its SmartConf controllers.
+// Either controller may be nil (a node with only a hard guard, or only a
+// soft goal); when both propose a bound the coordinator applies the minimum,
+// so the hard fleet-wide goal can only ever tighten what the soft per-node
+// goal would allow.
+type NodeControl struct {
+	// Inst is the member; a dead member's controllers are frozen (sensing a
+	// killed process would feed zeros into the controller state).
+	Inst Instance
+	// Memory guards the hard fleet-wide memory goal through this node's
+	// knob. Indirect: the knob (e.g. queue limit) does not appear in the
+	// profile's x-axis directly, the deputy metric does (§5.3).
+	Memory *smartconf.IndirectConf
+	// Deputy senses the node-local deputy metric shared by both guards
+	// (e.g. current queue length).
+	Deputy func() float64
+	// Latency is the node's soft-goal controller (e.g. p99 ≤ goal), a direct
+	// integral conf over the same knob. Its Spec.Max should be the largest
+	// setting the soft goal could ever justify (derive it from the
+	// profile), so that while another constraint binds the integrator can
+	// wind up only as far as the model-predicted goal setting — never to an
+	// arbitrary cap a transient could then blow past the goal with.
+	Latency *smartconf.Conf
+	// SenseLatency senses the node-local soft-goal metric.
+	SenseLatency func() float64
+	// Apply pushes the layered bound min(memory, latency) into the node's
+	// knob.
+	Apply func(bound int)
+}
+
+// Coordinator runs fleet-level configuration control: N per-node hard-goal
+// guards plus one global admission controller share a single fleet-wide
+// metric (interaction factor N+1, §5.4 — each controller moves as if the
+// others will make the same relative move), layered over per-node soft-goal
+// controllers. The two goals run on independent cadences: call StepMemory on
+// the fast (hard-goal) cadence and StepLatency on the slow (soft-goal,
+// sensor-settling) cadence.
+type Coordinator struct {
+	fleet       AdmissionControl
+	fleetMetric func() float64
+	admission   *smartconf.IndirectConf
+	nodes       []NodeControl
+
+	memBound []int
+	latBound []int
+	lastAdm  int
+}
+
+// NewCoordinator wires the control plane. fleetMetric senses the shared
+// fleet-wide hard-goal metric (e.g. total heap bytes across members);
+// admission, if non-nil, drives the fleet's global admission knob from the
+// same metric with TotalLoad as deputy.
+func NewCoordinator(fleet AdmissionControl, fleetMetric func() float64, admission *smartconf.IndirectConf, nodes []NodeControl) *Coordinator {
+	c := &Coordinator{
+		fleet:       fleet,
+		fleetMetric: fleetMetric,
+		admission:   admission,
+		nodes:       nodes,
+		memBound:    make([]int, len(nodes)),
+		latBound:    make([]int, len(nodes)),
+		lastAdm:     math.MaxInt,
+	}
+	for i := range nodes {
+		c.memBound[i] = math.MaxInt
+		c.latBound[i] = math.MaxInt
+	}
+	return c
+}
+
+// StepMemory runs one hard-goal control round: sense the fleet metric once,
+// feed it to the global admission controller and every live node's memory
+// guard, and re-apply the layered per-node bounds.
+func (c *Coordinator) StepMemory() {
+	m := c.fleetMetric()
+	if c.admission != nil {
+		c.admission.SetPerf(m, c.fleet.TotalLoad())
+		a := c.admission.Conf()
+		if a < 0 {
+			a = 0
+		}
+		c.lastAdm = a
+		c.fleet.SetMaxInFlight(a)
+	}
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		if n.Memory == nil || (n.Inst != nil && !n.Inst.Alive()) {
+			continue
+		}
+		n.Memory.SetPerf(m, n.Deputy())
+		c.memBound[i] = n.Memory.Conf()
+		c.apply(i)
+	}
+}
+
+// StepLatency runs one soft-goal control round across live nodes and
+// re-applies the layered bounds.
+func (c *Coordinator) StepLatency() {
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		if n.Latency == nil || (n.Inst != nil && !n.Inst.Alive()) {
+			continue
+		}
+		n.Latency.SetPerf(n.SenseLatency())
+		c.latBound[i] = n.Latency.Conf()
+		c.apply(i)
+	}
+}
+
+func (c *Coordinator) apply(i int) {
+	n := &c.nodes[i]
+	if n.Apply == nil {
+		return
+	}
+	b := c.memBound[i]
+	if c.latBound[i] < b {
+		b = c.latBound[i]
+	}
+	if b < 0 {
+		b = 0
+	}
+	n.Apply(b)
+}
+
+// Bound returns node i's currently layered bound min(memory, latency).
+func (c *Coordinator) Bound(i int) int {
+	b := c.memBound[i]
+	if c.latBound[i] < b {
+		b = c.latBound[i]
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Admission returns the last value applied to the global admission knob
+// (math.MaxInt before the first StepMemory, or with no admission
+// controller).
+func (c *Coordinator) Admission() int { return c.lastAdm }

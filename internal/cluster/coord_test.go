@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"smartconf"
+)
+
+// fakeAdmission records what the coordinator pushes into the fleet's
+// admission knob.
+type fakeAdmission struct {
+	load float64
+	set  []int
+}
+
+func (f *fakeAdmission) TotalLoad() float64   { return f.load }
+func (f *fakeAdmission) SetMaxInFlight(n int) { f.set = append(f.set, n) }
+
+// memGuardProfile relates a deputy (queued items) to a fleet-wide metric
+// (bytes): one unit of deputy costs one unit of metric over a 1000 baseline.
+func memGuardProfile() *smartconf.Profile {
+	return smartconf.NewProfile().
+		Add(10, 1008, 1010, 1012).
+		Add(40, 1038, 1040, 1042).
+		Add(80, 1078, 1080, 1082)
+}
+
+func newMemGuard(t *testing.T) *smartconf.IndirectConf {
+	t.Helper()
+	c, err := smartconf.NewIndirect(smartconf.Spec{
+		Name: "test/max.queue#mem", Metric: "bytes",
+		Goal: 1100, Hard: true, Interaction: 2,
+		Min: 0, Max: 500,
+	}, memGuardProfile(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// latGuardProfile relates the knob setting to a latency metric: 0.1 units of
+// latency per queued item.
+func newLatGuard(t *testing.T) *smartconf.Conf {
+	t.Helper()
+	c, err := smartconf.New(smartconf.Spec{
+		Name: "test/max.queue#lat", Metric: "latency",
+		Goal: 1.2, Initial: 12,
+		Min: 1, Max: 12,
+	}, smartconf.NewProfile().
+		Add(10, 0.99, 1.0, 1.01).
+		Add(20, 1.98, 2.0, 2.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCoordinatorMemoryGuardTracksHeadroom(t *testing.T) {
+	inst := &fake{id: 0, alive: true}
+	metric := 1000.0
+	deputy := 50.0
+	var applied []int
+	coord := NewCoordinator(&fakeAdmission{}, func() float64 { return metric }, nil, []NodeControl{{
+		Inst:   inst,
+		Memory: newMemGuard(t),
+		Deputy: func() float64 { return deputy },
+		Apply:  func(b int) { applied = append(applied, b) },
+	}})
+
+	// Below the goal: the proposed bound is the deputy plus a share of the
+	// remaining headroom — strictly above where the queue is now.
+	coord.StepMemory()
+	if len(applied) != 1 {
+		t.Fatalf("Apply called %d times, want 1", len(applied))
+	}
+	if b := coord.Bound(0); b <= int(deputy) || b > 500 {
+		t.Fatalf("bound %d with headroom; want in (deputy=50, Max=500]", b)
+	}
+
+	// Above the goal: the bound drops below the deputy (the guard sheds).
+	metric = 1200
+	coord.StepMemory()
+	if b := coord.Bound(0); b >= int(deputy) {
+		t.Fatalf("bound %d after overshoot; want below deputy 50", b)
+	}
+	if b := coord.Bound(0); b < 0 {
+		t.Fatalf("bound %d negative; coordinator must clamp at 0", b)
+	}
+}
+
+func TestCoordinatorLayersMinOfMemoryAndLatency(t *testing.T) {
+	inst := &fake{id: 0, alive: true}
+	var applied []int
+	coord := NewCoordinator(&fakeAdmission{}, func() float64 { return 1000 }, nil, []NodeControl{{
+		Inst:         inst,
+		Memory:       newMemGuard(t),
+		Deputy:       func() float64 { return 50 },
+		Latency:      newLatGuard(t),
+		SenseLatency: func() float64 { return 2.0 }, // over the 1.2 goal
+		Apply:        func(b int) { applied = append(applied, b) },
+	}})
+	coord.StepMemory() // memory slack: proposes ~bound > 50
+	memB := coord.Bound(0)
+	coord.StepLatency() // latency overshoot: proposes ~4
+	if b := coord.Bound(0); b >= memB || b > 12 {
+		t.Fatalf("layered bound %d; want the latency proposal (< %d, <= Max 12)", b, memB)
+	}
+	if applied[len(applied)-1] != coord.Bound(0) {
+		t.Fatal("Apply did not receive the layered minimum")
+	}
+}
+
+func TestCoordinatorFreezesDeadNodes(t *testing.T) {
+	inst := &fake{id: 0, alive: true}
+	calls := 0
+	coord := NewCoordinator(&fakeAdmission{}, func() float64 { return 1000 }, nil, []NodeControl{{
+		Inst:         inst,
+		Memory:       newMemGuard(t),
+		Deputy:       func() float64 { return 50 },
+		Latency:      newLatGuard(t),
+		SenseLatency: func() float64 { return 1.0 },
+		Apply:        func(int) { calls++ },
+	}})
+	coord.StepMemory()
+	before := coord.Bound(0)
+	callsBefore := calls
+	inst.alive = false
+	coord.StepMemory()
+	coord.StepLatency()
+	if calls != callsBefore {
+		t.Fatal("Apply ran for a dead member; a killed process has no knob to move")
+	}
+	if coord.Bound(0) != before {
+		t.Fatalf("dead member's bound moved %d -> %d", before, coord.Bound(0))
+	}
+}
+
+func TestCoordinatorDrivesAdmissionKnob(t *testing.T) {
+	adm, err := smartconf.NewIndirect(smartconf.Spec{
+		Name: "test/max.in.flight", Metric: "bytes",
+		Goal: 1100, Hard: true, Interaction: 2,
+		Min: 0, Max: 10000,
+	}, memGuardProfile(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &fakeAdmission{load: 30}
+	metric := 1000.0
+	coord := NewCoordinator(fl, func() float64 { return metric }, adm, nil)
+	if coord.Admission() != math.MaxInt {
+		t.Fatal("admission should be unbounded before the first step")
+	}
+	coord.StepMemory()
+	if len(fl.set) != 1 {
+		t.Fatalf("SetMaxInFlight called %d times, want 1", len(fl.set))
+	}
+	if got := coord.Admission(); got != fl.set[0] || got <= int(fl.load) {
+		t.Fatalf("admission %d (pushed %v); want pushed value above TotalLoad 30", got, fl.set)
+	}
+	// Far over the goal, the knob closes but never goes negative.
+	metric = 5000
+	coord.StepMemory()
+	if got := coord.Admission(); got != 0 {
+		t.Fatalf("admission %d after massive overshoot, want clamped 0", got)
+	}
+}

@@ -1,0 +1,156 @@
+package cluster
+
+// PolicyKind selects the routing policy a Router applies.
+type PolicyKind int
+
+const (
+	// RoundRobin rotates through live members in ID order.
+	RoundRobin PolicyKind = iota
+	// LeastLoaded picks the live member with the smallest Load(); ties go to
+	// the lowest index, so the choice is deterministic.
+	LeastLoaded
+	// WeightedScore picks the live member minimizing (Load()+Cost)/weight —
+	// least-loaded generalized to heterogeneous capacities.
+	WeightedScore
+	// KeyAffinity picks by rendezvous (highest-random-weight) hashing over
+	// Key and member ID: the same key always lands on the same live member,
+	// and when a member dies only its keys move.
+	KeyAffinity
+)
+
+// String returns the policy's stable name (used in cache keys and renders).
+func (k PolicyKind) String() string {
+	switch k {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case WeightedScore:
+		return "weighted-score"
+	case KeyAffinity:
+		return "key-affinity"
+	}
+	return "unknown"
+}
+
+// Router places requests on fleet members according to one PolicyKind. The
+// decision path is allocation-free: it runs once per simulated request.
+type Router struct {
+	policy  PolicyKind
+	members []Instance
+	weights []float64
+	rr      int
+}
+
+// NewRouter returns an empty router with the given policy.
+func NewRouter(policy PolicyKind) *Router {
+	return &Router{policy: policy}
+}
+
+// Add registers a member with its weight (relative capacity for the
+// weighted-scoring policy; non-positive weights are treated as 1).
+func (r *Router) Add(inst Instance, weight float64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	r.members = append(r.members, inst)
+	r.weights = append(r.weights, weight)
+}
+
+// Policy returns the router's policy.
+func (r *Router) Policy() PolicyKind { return r.policy }
+
+// Len returns the member count.
+func (r *Router) Len() int { return len(r.members) }
+
+// Route picks a member index for the request, or -1 if no live member is
+// available.
+func (r *Router) Route(req Request) int { return r.RouteExcluding(req, 0) }
+
+// RouteExcluding picks a member like Route but skips members whose bit is
+// set in tried — the fleet's retry loop masks each member that refused a
+// request and re-routes, so rejected work spills to the next-best member
+// with no per-attempt allocation.
+func (r *Router) RouteExcluding(req Request, tried uint64) int {
+	n := len(r.members)
+	if n == 0 {
+		return -1
+	}
+	switch r.policy {
+	case RoundRobin:
+		for i := 0; i < n; i++ {
+			idx := r.rr + i
+			if idx >= n {
+				idx -= n
+			}
+			if r.eligible(idx, tried) {
+				r.rr = idx + 1
+				if r.rr >= n {
+					r.rr = 0
+				}
+				return idx
+			}
+		}
+		return -1
+	case LeastLoaded:
+		best, bestLoad := -1, 0.0
+		for i := 0; i < n; i++ {
+			if !r.eligible(i, tried) {
+				continue
+			}
+			l := r.members[i].Load()
+			if best < 0 || l < bestLoad {
+				best, bestLoad = i, l
+			}
+		}
+		return best
+	case WeightedScore:
+		best, bestScore := -1, 0.0
+		for i := 0; i < n; i++ {
+			if !r.eligible(i, tried) {
+				continue
+			}
+			s := (r.members[i].Load() + req.Cost) / r.weights[i]
+			if best < 0 || s < bestScore {
+				best, bestScore = i, s
+			}
+		}
+		return best
+	case KeyAffinity:
+		best := -1
+		var bestHash uint64
+		for i := 0; i < n; i++ {
+			if !r.eligible(i, tried) {
+				continue
+			}
+			h := rendezvous(req.Key, r.members[i].ID())
+			if best < 0 || h > bestHash {
+				best, bestHash = i, h
+			}
+		}
+		return best
+	}
+	return -1
+}
+
+func (r *Router) eligible(i int, tried uint64) bool {
+	return tried&(1<<uint(i)) == 0 && r.members[i].Alive()
+}
+
+// rendezvous scores (key, member) with a splitmix64-style mix. Each member
+// hashes every key independently, so removing a member reassigns only the
+// keys it owned — the property that keeps affinity stable under loss.
+func rendezvous(key uint64, id int) uint64 {
+	return mix64(key ^ mix64(uint64(id)+0x9e3779b97f4a7c15))
+}
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed integer mix
+// with no allocation and no table state.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

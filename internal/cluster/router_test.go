@@ -1,0 +1,193 @@
+package cluster
+
+import "testing"
+
+// fake is a minimal Instance for router and fleet tests.
+type fake struct {
+	id    int
+	alive bool
+	load  float64
+}
+
+func (f *fake) ID() int       { return f.id }
+func (f *fake) Alive() bool   { return f.alive }
+func (f *fake) Load() float64 { return f.load }
+
+func newFakes(n int) []*fake {
+	out := make([]*fake, n)
+	for i := range out {
+		out[i] = &fake{id: i, alive: true}
+	}
+	return out
+}
+
+func routerOver(policy PolicyKind, fakes []*fake) *Router {
+	r := NewRouter(policy)
+	for _, f := range fakes {
+		r.Add(f, 1)
+	}
+	return r
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	fakes := newFakes(3)
+	r := routerOver(RoundRobin, fakes)
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, r.Route(Request{}))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsDead(t *testing.T) {
+	fakes := newFakes(3)
+	fakes[1].alive = false
+	r := routerOver(RoundRobin, fakes)
+	for i, want := range []int{0, 2, 0, 2} {
+		if got := r.Route(Request{}); got != want {
+			t.Fatalf("pick %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestLeastLoadedPicksMinTieLowestIndex(t *testing.T) {
+	fakes := newFakes(3)
+	fakes[0].load = 5
+	fakes[1].load = 2
+	fakes[2].load = 2
+	r := routerOver(LeastLoaded, fakes)
+	if got := r.Route(Request{}); got != 1 {
+		t.Fatalf("got %d, want 1 (min load, lowest index on tie)", got)
+	}
+	fakes[1].load = 9
+	if got := r.Route(Request{}); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+}
+
+func TestWeightedScoreDividesByWeight(t *testing.T) {
+	fakes := newFakes(2)
+	fakes[0].load = 10
+	fakes[1].load = 10
+	r := NewRouter(WeightedScore)
+	r.Add(fakes[0], 1)
+	r.Add(fakes[1], 4) // 4x the capacity: score (10+2)/4 < (10+2)/1
+	if got := r.Route(Request{Cost: 2}); got != 1 {
+		t.Fatalf("got %d, want the higher-capacity member", got)
+	}
+}
+
+func TestKeyAffinityStableAndMinimal(t *testing.T) {
+	fakes := newFakes(4)
+	r := routerOver(KeyAffinity, fakes)
+	const keys = 512
+	owner := make([]int, keys)
+	for k := 0; k < keys; k++ {
+		owner[k] = r.Route(Request{Key: uint64(k)})
+		if again := r.Route(Request{Key: uint64(k)}); again != owner[k] {
+			t.Fatalf("key %d not stable: %d then %d", k, owner[k], again)
+		}
+	}
+	// Kill one member: only its keys may move, and they must all move.
+	victim := owner[0]
+	fakes[victim].alive = false
+	for k := 0; k < keys; k++ {
+		got := r.Route(Request{Key: uint64(k)})
+		if owner[k] != victim && got != owner[k] {
+			t.Fatalf("key %d moved from %d to %d though its owner survived", k, owner[k], got)
+		}
+		if owner[k] == victim && got == victim {
+			t.Fatalf("key %d still routed to dead member %d", k, victim)
+		}
+	}
+	// Resurrect: every key returns to its original owner.
+	fakes[victim].alive = true
+	for k := 0; k < keys; k++ {
+		if got := r.Route(Request{Key: uint64(k)}); got != owner[k] {
+			t.Fatalf("key %d did not return to %d after restart, got %d", k, owner[k], got)
+		}
+	}
+}
+
+func TestKeyAffinitySpreadsKeys(t *testing.T) {
+	fakes := newFakes(4)
+	r := routerOver(KeyAffinity, fakes)
+	counts := make([]int, 4)
+	for k := 0; k < 4096; k++ {
+		counts[r.Route(Request{Key: uint64(k)})]++
+	}
+	for i, c := range counts {
+		if c < 512 || c > 1536 {
+			t.Fatalf("member %d owns %d of 4096 keys — rendezvous spread badly skewed: %v", i, c, counts)
+		}
+	}
+}
+
+func TestRouteExcludingHonorsMask(t *testing.T) {
+	fakes := newFakes(3)
+	fakes[0].load = 0
+	fakes[1].load = 1
+	fakes[2].load = 2
+	r := routerOver(LeastLoaded, fakes)
+	if got := r.RouteExcluding(Request{}, 1<<0); got != 1 {
+		t.Fatalf("got %d, want 1 with member 0 masked", got)
+	}
+	if got := r.RouteExcluding(Request{}, 1<<0|1<<1); got != 2 {
+		t.Fatalf("got %d, want 2 with members 0,1 masked", got)
+	}
+	if got := r.RouteExcluding(Request{}, 1<<0|1<<1|1<<2); got != -1 {
+		t.Fatalf("got %d, want -1 with every member masked", got)
+	}
+}
+
+func TestRouteEmptyAndAllDead(t *testing.T) {
+	r := NewRouter(RoundRobin)
+	if got := r.Route(Request{}); got != -1 {
+		t.Fatalf("empty router routed to %d", got)
+	}
+	fakes := newFakes(2)
+	fakes[0].alive = false
+	fakes[1].alive = false
+	for _, p := range []PolicyKind{RoundRobin, LeastLoaded, WeightedScore, KeyAffinity} {
+		if got := routerOver(p, fakes).Route(Request{Key: 7}); got != -1 {
+			t.Fatalf("%s routed to %d with every member dead", p, got)
+		}
+	}
+}
+
+func TestPolicyKindStrings(t *testing.T) {
+	want := map[PolicyKind]string{
+		RoundRobin:     "round-robin",
+		LeastLoaded:    "least-loaded",
+		WeightedScore:  "weighted-score",
+		KeyAffinity:    "key-affinity",
+		PolicyKind(99): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+// TestRouteZeroAllocs pins the routing hot path at zero allocations per
+// decision for every policy — the contract BENCH_engine.json gates.
+func TestRouteZeroAllocs(t *testing.T) {
+	fakes := newFakes(16)
+	for _, p := range []PolicyKind{RoundRobin, LeastLoaded, WeightedScore, KeyAffinity} {
+		r := routerOver(p, fakes)
+		key := uint64(0)
+		got := testing.AllocsPerRun(1000, func() {
+			key++
+			r.RouteExcluding(Request{Key: key, Cost: 1}, 0)
+		})
+		if got != 0 {
+			t.Errorf("%s: %.1f allocs per route, want 0", p, got)
+		}
+	}
+}

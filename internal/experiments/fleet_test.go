@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"smartconf/internal/experiments/engine"
+)
+
+// TestFleetAcceptance is the fleet artifact's acceptance criterion: under
+// skewed load with one instance lost mid-run, the SmartConf fleet must meet
+// the hard fleet-wide memory goal AND the soft per-node p99 goal, and beat
+// every static fleet that also meets both (a static that violates either
+// goal is disqualified no matter its throughput).
+func TestFleetAcceptance(t *testing.T) {
+	results := BuildFleetComparison()
+	t.Logf("\n%s", RenderFleet(results))
+
+	var sc *FleetResult
+	var bestStatic *FleetResult
+	anyStaticFails := false
+	for i := range results {
+		r := &results[i]
+		if r.Policy.Kind == SmartConfPolicy {
+			sc = r
+			continue
+		}
+		if !FleetQualifies(*r) {
+			anyStaticFails = true
+			continue
+		}
+		if bestStatic == nil || r.Throughput > bestStatic.Throughput {
+			bestStatic = r
+		}
+	}
+	if sc == nil {
+		t.Fatal("no SmartConf result")
+	}
+	if sc.Lost < 1 {
+		t.Fatalf("scenario must lose at least one instance, got %d", sc.Lost)
+	}
+	if !sc.ConstraintMet {
+		t.Fatalf("SmartConf fleet violated the hard memory goal: %s at %v", sc.Violation, sc.ViolatedAt)
+	}
+	if !sc.SoftGoalMet {
+		t.Fatalf("SmartConf fleet missed the soft p99 goal: worst p99 %.2fs", sc.WorstP99)
+	}
+	if sc.Redispatched == 0 {
+		t.Error("instance loss should have evacuated requests through Redispatch")
+	}
+	if !anyStaticFails {
+		t.Error("expected at least one static fleet to violate a goal (the unsafe-default story)")
+	}
+	if bestStatic != nil && bestStatic.Throughput >= sc.Throughput {
+		t.Errorf("SmartConf (%.2f ops/s) must beat the best qualifying static %s (%.2f ops/s)",
+			sc.Throughput, bestStatic.Policy, bestStatic.Throughput)
+	}
+}
+
+// TestFleetDeterministicRender re-runs the scenario and checks byte-identical
+// rendering — the property the run cache and the CLI byte-identity test rely
+// on.
+func TestFleetDeterministicRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two uncached fleet sweeps")
+	}
+	a := RenderFleet(BuildFleetComparison())
+	ResetRunCache()
+	b := RenderFleet(BuildFleetComparison())
+	if a != b {
+		t.Fatalf("fleet render diverged across uncached rebuilds:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "SmartConf") {
+		t.Fatalf("render missing SmartConf row:\n%s", a)
+	}
+}
+
+// TestFleetArtifactWarmRebuild holds the fleet artifact to the persistent
+// cache contract: one cold build with -cachedir populated, then a fresh
+// process (in-memory layer dropped) rebuilds it from disk alone — zero
+// simulations — byte-identically, at any worker count.
+func TestFleetArtifactWarmRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet sweep plus disk round-trip")
+	}
+	ResetRunCache()
+	defer func() {
+		EnablePersistentRunCache("")
+		ResetRunCache()
+	}()
+	if err := EnablePersistentRunCache(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := RenderFleet(BuildFleetComparison())
+	if exec, _ := RunCacheStats(); exec == 0 {
+		t.Fatal("cold fleet build executed no simulations")
+	}
+	if _, written := PersistentRunCacheStats(); written == 0 {
+		t.Fatal("cold fleet build persisted nothing")
+	}
+
+	ResetRunCache() // drop the in-memory layer: the disk is all that remains
+	warm := RenderFleet(BuildFleetComparison())
+	if exec, _ := RunCacheStats(); exec != 0 {
+		t.Errorf("warm fleet rebuild executed %d simulations, want 0", exec)
+	}
+	if loaded, _ := PersistentRunCacheStats(); loaded == 0 {
+		t.Error("warm fleet rebuild loaded nothing from disk")
+	}
+	if warm != cold {
+		t.Errorf("warm fleet rendering differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+
+	prev := engine.SetWorkers(8)
+	defer engine.SetWorkers(prev)
+	ResetRunCache()
+	warm8 := RenderFleet(BuildFleetComparison())
+	if exec, _ := RunCacheStats(); exec != 0 {
+		t.Errorf("warm 8-worker fleet rebuild executed %d simulations, want 0", exec)
+	}
+	if warm8 != cold {
+		t.Error("8-worker warm fleet rendering differs from sequential cold rendering")
+	}
+}

@@ -53,6 +53,13 @@ type Memstore struct {
 
 	crashed bool
 
+	// Fleet surface (internal/cluster): identity and liveness across
+	// injected instance loss. epoch invalidates flush completions scheduled
+	// by a previous incarnation.
+	id    int
+	down  bool
+	epoch uint64
+
 	blockTimes   *metrics.Latency // the constrained metric (worst-case block)
 	writes       metrics.Counter
 	rejected     metrics.Counter // writes refused while the store was blocked
@@ -142,7 +149,7 @@ func (st *Memstore) Throughput() float64 { return st.throughput.Rate(st.sim.Now(
 // time the store spends blocked is therefore lost throughput, which is
 // exactly the trade-off against the block-time constraint.
 func (st *Memstore) Write(bytes int64) bool {
-	if st.crashed {
+	if st.crashed || st.down {
 		return false
 	}
 	if st.blocked {
@@ -182,8 +189,9 @@ func (st *Memstore) startFlush() {
 	if st.cfg.FlushBytesPerSec > 0 {
 		d += time.Duration(float64(amount) / float64(st.cfg.FlushBytesPerSec) * float64(time.Second))
 	}
+	e := st.epoch
 	st.sim.After(d, func() {
-		if st.crashed {
+		if st.epoch != e || st.crashed {
 			return
 		}
 		st.heap.Free(amount)
@@ -191,4 +199,55 @@ func (st *Memstore) startFlush() {
 		st.blocked = false
 		st.blockTimes.Observe(st.sim.Now() - st.blockStart)
 	})
+}
+
+// Fleet surface: what internal/cluster needs to route to, kill, and restart
+// this store as one member of an N-wide fleet. Writes are synchronous, so
+// there is no in-flight work to evacuate — a killed store simply loses its
+// unflushed data (the WAL replay a real region server would do is outside
+// the model).
+
+// SetID assigns the store's stable fleet identity (key-affinity hashes it).
+func (st *Memstore) SetID(id int) { st.id = id }
+
+// ID returns the fleet identity.
+func (st *Memstore) ID() int { return st.id }
+
+// Alive reports whether the store can accept writes: neither crashed (OOM)
+// nor down (injected instance loss).
+func (st *Memstore) Alive() bool { return !st.crashed && !st.down }
+
+// Down reports whether the store is killed but restartable.
+func (st *Memstore) Down() bool { return st.down }
+
+// Load returns the store's occupancy in bytes — the signal load-aware
+// routing policies compare.
+func (st *Memstore) Load() float64 { return float64(st.bytes) }
+
+// Kill models abrupt process death for fleet chaos: the heap is released in
+// full (base plus unflushed data), any in-progress flush is invalidated, and
+// the store stops accepting writes until Restart.
+func (st *Memstore) Kill() {
+	if st.crashed || st.down {
+		return
+	}
+	st.down = true
+	st.epoch++
+	st.heap.Free(st.bytes + st.cfg.BaseHeapBytes)
+	st.bytes = 0
+	st.blocked = false
+}
+
+// Restart brings a killed store back cold: fresh base heap, empty memstore;
+// cumulative counters persist across incarnations. A crashed (OOM) store
+// stays dead. If the base heap no longer fits, the restart itself OOMs.
+func (st *Memstore) Restart() {
+	if st.crashed || !st.down {
+		return
+	}
+	if err := st.heap.Alloc(st.cfg.BaseHeapBytes); err != nil {
+		st.crashed = true
+		return
+	}
+	st.down = false
 }

@@ -10,9 +10,15 @@ import (
 // Configuration of the cachekey analyzer. Tests override these to point at
 // testdata packages.
 var (
-	// ExperimentsPath is the package whose drivers must route every
-	// simulation through the run cache.
-	ExperimentsPath = "smartconf/internal/experiments"
+	// CachedRunPaths are the packages whose code must route every
+	// simulation through the run cache and key it fully. The fleet layer in
+	// internal/cluster is reachable from cached fleet scenarios, so a direct
+	// engine.Memo call or an unscoped engine.Key literal there would poison
+	// the same cache the experiments adapters guard.
+	CachedRunPaths = []string{
+		"smartconf/internal/experiments",
+		"smartconf/internal/cluster",
+	}
 	// EnginePathSuffix identifies the run-engine package among the imports.
 	EnginePathSuffix = "internal/experiments/engine"
 	// AdapterFiles are the files (basenames) allowed to talk to the engine
@@ -48,7 +54,7 @@ func runCacheKey(pass *Pass) error {
 	if pass.Pkg.Path() == DiskCachePath {
 		return runDiskCacheRules(pass)
 	}
-	if pass.Pkg.Path() != ExperimentsPath {
+	if !pathMatchesPrefix(pass.Pkg.Path(), CachedRunPaths) {
 		return nil
 	}
 	for _, file := range pass.Files {

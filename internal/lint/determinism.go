@@ -20,6 +20,7 @@ var DeterminismPackages = []string{
 	"smartconf/internal/disksim",
 	"smartconf/internal/llmserve",
 	"smartconf/internal/workload",
+	"smartconf/internal/cluster",
 	"smartconf/internal/experiments",
 	"smartconf/internal/chaos",
 	"smartconf/internal/proptest",

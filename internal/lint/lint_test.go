@@ -157,7 +157,7 @@ func TestDeterminismAnalyzer(t *testing.T) {
 }
 
 func TestCacheKeyAnalyzer(t *testing.T) {
-	defer swap(&lint.ExperimentsPath, "lint.test/cachekey/experiments")()
+	defer swap(&lint.CachedRunPaths, []string{"lint.test/cachekey/experiments"})()
 	defer swap(&lint.EnginePathSuffix, "cachekey/engine")()
 	runAnalyzerTest(t, lint.CacheKeyAnalyzer, "lint.test/cachekey/experiments")
 }

@@ -110,6 +110,15 @@ type Server struct {
 	stepping bool
 	crashed  bool
 
+	// Fleet surface (internal/cluster): identity, liveness across injected
+	// instance loss, and the scratch bytes held by in-flight steps that Kill
+	// must release. epoch invalidates scheduled callbacks from a previous
+	// incarnation.
+	id          int
+	down        bool
+	epoch       uint64
+	scratchHeld int64
+
 	completed    metrics.Counter
 	rejected     metrics.Counter
 	dropped      metrics.Counter // client-visible losses after a crash
@@ -126,6 +135,10 @@ type Server struct {
 	// BeforeAdmit, when set, runs at the top of every Offer — the
 	// integration point for the admission.queue.limit controller.
 	BeforeAdmit func()
+	// OnEvacuate, when set, receives every waiting or running request
+	// displaced by Kill — the fleet's client-retry path. Without it displaced
+	// requests count as dropped.
+	OnEvacuate func(req workload.LLMRequest)
 }
 
 // New returns a server with both knobs wide open (unbounded batch, the
@@ -243,7 +256,7 @@ func (sv *Server) E2E() *metrics.Latency { return sv.e2e }
 // Offer submits one request. It returns false when the request is refused
 // (waiting queue full) or lost (server crashed).
 func (sv *Server) Offer(req workload.LLMRequest) bool {
-	if sv.crashed {
+	if sv.crashed || sv.down {
 		sv.dropped.Inc()
 		return false
 	}
@@ -271,7 +284,7 @@ func (sv *Server) crash() {
 
 // kick starts the step loop if it is idle and there is work.
 func (sv *Server) kick() {
-	if sv.stepping || sv.crashed {
+	if sv.stepping || sv.crashed || sv.down {
 		return
 	}
 	if len(sv.running) == 0 && len(sv.waiting) == 0 {
@@ -375,8 +388,14 @@ func (sv *Server) step() {
 		}
 	}
 
+	sv.scratchHeld += scratch
 	d := sv.cfg.StepBase + time.Duration(scheduled)*sv.cfg.StepPerToken
-	sv.sim.After(d, func() { sv.endStep(scratch) })
+	e := sv.epoch
+	sv.sim.After(d, func() {
+		if sv.epoch == e {
+			sv.endStep(scratch)
+		}
+	})
 }
 
 // endStep retires a step: frees scratch, records first tokens and
@@ -388,6 +407,7 @@ func (sv *Server) endStep(scratch int64) {
 	if scratch > 0 {
 		sv.heap.Free(scratch)
 	}
+	sv.scratchHeld -= scratch
 	now := sv.sim.Now()
 	keep := sv.running[:0]
 	for _, s := range sv.running {

@@ -1,0 +1,97 @@
+package proptest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// FleetReport is the observable trajectory of one fleet run, as produced by
+// a substrate-specific fleet harness: conservation counters for the
+// dispatched requests, the routing trace fingerprint, and enough identity to
+// compare replays. Like Report, it is pure data — the oracles below consume
+// it without re-running anything.
+type FleetReport struct {
+	// Substrate and Policy identify the harness ("RPC" × "key-affinity").
+	Substrate string
+	Policy    string
+	// Seed drove the workload, the noise, and the chaos plan.
+	Seed int64
+	// Horizon is the virtual end of the run.
+	Horizon time.Duration
+	// Members is the fleet width; Lost counts members killed during the run.
+	Members int
+	Lost    int
+
+	// Conservation counters. Every request submitted to the fleet must end
+	// in exactly one of: completed by some member, refused (throttled or
+	// rejected fleet-wide), or still pending at the horizon.
+	Submitted int64
+	Completed int64
+	Refused   int64
+	Pending   int64
+
+	// RouteFingerprint hashes the (key → member) placement sequence; two
+	// replays of a deterministic fleet must agree on it, and under
+	// key-affinity it captures routing stability.
+	RouteFingerprint string
+
+	// Fingerprint summarizes the whole report (set by ComputeFingerprint).
+	Fingerprint string
+}
+
+// ComputeFingerprint hashes the report's observable fields into Fingerprint.
+// Two runs of the same (substrate, policy, seed) must produce equal
+// fingerprints — the fleet replay oracle.
+func (r *FleetReport) ComputeFingerprint() {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|", r.Substrate, r.Policy, r.Seed, r.Horizon, r.Members, r.Lost)
+	fmt.Fprintf(h, "%d|%d|%d|%d|", r.Submitted, r.Completed, r.Refused, r.Pending)
+	fmt.Fprintf(h, "%s", r.RouteFingerprint)
+	r.Fingerprint = fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FleetDrains checks that the fleet finished its work: once the workload
+// stops and the horizon is reached, no request may still be queued or in
+// flight anywhere in the fleet.
+func FleetDrains(r *FleetReport) error {
+	if r.Pending != 0 {
+		return fmt.Errorf("fleet did not drain: %d requests still pending at horizon %v", r.Pending, r.Horizon)
+	}
+	return nil
+}
+
+// NoRequestLost checks conservation across instance loss: with retry routing
+// and evacuation re-dispatch, every submitted request is accounted for —
+// completed somewhere, refused explicitly, or still pending. A request that
+// silently vanishes (killed with its member, double-counted by a stale
+// callback) breaks the balance.
+func NoRequestLost(r *FleetReport) error {
+	if got := r.Completed + r.Refused + r.Pending; got != r.Submitted {
+		return fmt.Errorf("request conservation violated: submitted %d but completed %d + refused %d + pending %d = %d",
+			r.Submitted, r.Completed, r.Refused, r.Pending, got)
+	}
+	return nil
+}
+
+// AffinityStable checks that two replays of the same fleet run routed every
+// request identically — under key-affinity this is the rendezvous-hashing
+// stability guarantee, and under any policy it is routing determinism.
+func AffinityStable(a, b *FleetReport) error {
+	if a.RouteFingerprint != b.RouteFingerprint {
+		return fmt.Errorf("routing diverged across replays: %s vs %s", a.RouteFingerprint, b.RouteFingerprint)
+	}
+	return nil
+}
+
+// FleetReplays checks that two runs of the same (substrate, policy, seed)
+// produced identical whole-run fingerprints.
+func FleetReplays(a, b *FleetReport) error {
+	if a.Fingerprint == "" || b.Fingerprint == "" {
+		return fmt.Errorf("fleet fingerprint not computed")
+	}
+	if a.Fingerprint != b.Fingerprint {
+		return fmt.Errorf("fleet replay diverged: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package rpcserver
+
+import "smartconf/internal/workload"
+
+// Fleet surface: what internal/cluster needs to route to, kill, and restart
+// this server as one member of an N-wide fleet. The methods are structural —
+// the server does not import cluster — so the substrate stays usable
+// standalone.
+
+// SetID assigns the server's stable fleet identity (key-affinity hashes it).
+func (sv *Server) SetID(id int) { sv.id = id }
+
+// ID returns the fleet identity.
+func (sv *Server) ID() int { return sv.id }
+
+// Alive reports whether the server can accept work: neither crashed (OOM)
+// nor down (injected instance loss).
+func (sv *Server) Alive() bool { return !sv.crashed && !sv.down }
+
+// Down reports whether the server is killed but restartable.
+func (sv *Server) Down() bool { return sv.down }
+
+// Load returns the server's backlog — queued plus in-flight calls — the
+// signal load-aware routing policies compare.
+func (sv *Server) Load() float64 { return float64(len(sv.queue) + sv.inflightCalls) }
+
+// Kill models abrupt process death for fleet chaos: the process releases
+// every byte it accounts (base heap, queued and in-flight request payloads,
+// undelivered responses), queued and in-flight calls are handed to
+// OnEvacuate (the fleet's client-retry path) or counted dropped, and every
+// callback scheduled by this incarnation is invalidated. Unlike crash(),
+// which models a wedged OOM JVM that releases nothing, a killed process
+// gives its memory back — that is what makes restart possible.
+func (sv *Server) Kill() {
+	if sv.crashed || sv.down {
+		return
+	}
+	sv.down = true
+	sv.epoch++
+	held := sv.queueBytes + sv.respBytes + sv.cfg.BaseHeapBytes
+	for _, c := range sv.queue {
+		sv.evacuate(c.op)
+	}
+	for _, b := range sv.inflight {
+		for _, c := range b {
+			sv.evacuate(c.op)
+		}
+	}
+	sv.queue = nil
+	sv.queueBytes = 0
+	sv.inflight = nil
+	sv.inflightCalls = 0
+	sv.respQueue = nil
+	sv.respBytes = 0
+	sv.busy = 0
+	sv.draining = false
+	sv.heap.Free(held)
+}
+
+// Restart brings a killed server back as a cold process: fresh base heap,
+// empty queues; cumulative counters are observer-side totals and persist
+// across incarnations. A crashed (OOM) server stays dead — that is the hard
+// goal's unrecoverable failure, not an operational restart. If the base heap
+// no longer fits (the heap filled while the server was down), the restart
+// itself OOMs.
+func (sv *Server) Restart() {
+	if sv.crashed || !sv.down {
+		return
+	}
+	if err := sv.heap.Alloc(sv.cfg.BaseHeapBytes); err != nil {
+		sv.crashed = true
+		return
+	}
+	sv.down = false
+}
+
+func (sv *Server) evacuate(op workload.Op) {
+	if sv.OnEvacuate != nil {
+		sv.OnEvacuate(op)
+		return
+	}
+	sv.dropped.Inc()
+}
+
+func (sv *Server) removeInflight(batch []call) {
+	for i := range sv.inflight {
+		if len(sv.inflight[i]) > 0 && len(batch) > 0 && &sv.inflight[i][0] == &batch[0] {
+			sv.inflight = append(sv.inflight[:i], sv.inflight[i+1:]...)
+			sv.inflightCalls -= len(batch)
+			return
+		}
+	}
+}

@@ -108,6 +108,16 @@ type Server struct {
 
 	crashed bool
 
+	// Fleet surface (internal/cluster): identity, liveness across injected
+	// instance loss, and the in-flight batches that must be evacuated when
+	// the process is killed. epoch invalidates scheduled callbacks from a
+	// previous incarnation.
+	id            int
+	down          bool
+	epoch         uint64
+	inflight      [][]call
+	inflightCalls int
+
 	completed  metrics.Counter
 	rejected   metrics.Counter
 	dropped    metrics.Counter // client-visible failures after a crash
@@ -121,6 +131,10 @@ type Server struct {
 	// BeforeRespond, when set, runs before every response enqueue — the
 	// integration point for the response-queue knob.
 	BeforeRespond func()
+	// OnEvacuate, when set, receives every queued or in-flight call displaced
+	// by Kill — the fleet's client-retry path. Without it displaced calls
+	// count as dropped.
+	OnEvacuate func(op workload.Op)
 }
 
 // New returns a server with both knobs wide open (no request-count bound,
@@ -208,7 +222,7 @@ func (sv *Server) Latency() *metrics.Latency { return sv.latency }
 // Offer submits one call. It returns false when the call is refused
 // (queue full) or lost (server crashed).
 func (sv *Server) Offer(op workload.Op) bool {
-	if sv.crashed {
+	if sv.crashed || sv.down {
 		sv.dropped.Inc()
 		return false
 	}
@@ -244,7 +258,7 @@ func (sv *Server) dispatch() {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
-	for !sv.crashed && sv.busy < sv.cfg.Workers && len(sv.queue) > 0 {
+	for !sv.crashed && !sv.down && sv.busy < sv.cfg.Workers && len(sv.queue) > 0 {
 		n := maxBatch
 		if n > len(sv.queue) {
 			n = len(sv.queue)
@@ -261,7 +275,14 @@ func (sv *Server) dispatch() {
 		if sv.cfg.ServiceBytesPerSec > 0 {
 			d += time.Duration(float64(bytes) / float64(sv.cfg.ServiceBytesPerSec) * float64(time.Second))
 		}
-		sv.sim.After(d, func() { sv.finish(batch) })
+		sv.inflight = append(sv.inflight, batch)
+		sv.inflightCalls += n
+		e := sv.epoch
+		sv.sim.After(d, func() {
+			if sv.epoch == e {
+				sv.finish(batch)
+			}
+		})
 	}
 }
 
@@ -291,6 +312,7 @@ func (sv *Server) finish(batch []call) {
 			// moves on.
 			sv.heap.Free(reqBytes)
 			sv.queueBytes -= reqBytes
+			sv.removeInflight(batch)
 			sv.busy--
 			sv.rejected.Add(int64(len(batch)))
 			sv.dispatch()
@@ -300,7 +322,12 @@ func (sv *Server) finish(batch []call) {
 		// An oversize batch is admitted into an EMPTY response queue so a
 		// bound below one batch cannot deadlock the server (§4.2's tolerated
 		// transient inconsistency between a knob and its deputy).
-		sv.sim.After(sv.cfg.ResponseRetry, func() { sv.finish(batch) })
+		e := sv.epoch
+		sv.sim.After(sv.cfg.ResponseRetry, func() {
+			if sv.epoch == e {
+				sv.finish(batch)
+			}
+		})
 		return
 	}
 	if err := sv.heap.Alloc(respSize); err != nil {
@@ -323,6 +350,7 @@ func (sv *Server) finish(batch []call) {
 		}
 	}
 	sv.respBytes += respSize
+	sv.removeInflight(batch)
 	sv.busy--
 	sv.completed.Add(int64(len(batch)))
 	sv.throughput.Mark(sv.sim.Now(), float64(len(batch)))
@@ -349,7 +377,11 @@ func (sv *Server) drain() {
 	if d <= 0 {
 		d = time.Microsecond
 	}
+	e := sv.epoch
 	sv.sim.After(d, func() {
+		if sv.epoch != e {
+			return
+		}
 		sv.draining = false
 		if sv.crashed {
 			return
