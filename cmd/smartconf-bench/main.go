@@ -151,6 +151,8 @@ func main() {
 func run() int {
 	only := flag.String("only", "", "render a single artifact (see -list)")
 	list := flag.Bool("list", false, "list artifact ids and exit")
+	scale := flag.Bool("scale", false, "run the raw-speed campaign instead of the paper artifacts")
+	scaleRequests := flag.Int64("scale-requests", 10_000_000, "requests per substrate for -scale")
 	csvDir := flag.String("csv", "", "also write the figure time series as CSV files into this directory")
 	parallel := flag.Int("parallel", engine.Workers(), "number of concurrent simulation workers")
 	cacheDir := flag.String("cachedir", "", "persist simulation results in this directory and reuse them across runs")
@@ -211,6 +213,18 @@ func run() int {
 		sort.Strings(ids)
 		for _, id := range ids {
 			fmt.Printf("%-8s %s\n", id, titles[id])
+		}
+		return 0
+	}
+
+	if *scale {
+		out := renderScale(*scaleRequests)
+		fmt.Print(out)
+		if *cacheDir != "" {
+			executed, _ := experiments.RunCacheStats()
+			loaded, written := experiments.PersistentRunCacheStats()
+			fmt.Fprintf(os.Stderr, "run cache: %d simulated, %d loaded from %s, %d written\n",
+				executed, loaded, *cacheDir, written)
 		}
 		return 0
 	}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"smartconf/internal/benchgate"
+	"smartconf/internal/experiments"
+)
+
+// renderScale runs the raw-speed campaign: each substrate's run executes
+// sequentially (never fanned out — the wall measurements need the process to
+// themselves) and the deterministic results render to one stdout artifact
+// that is byte-identical at any worker count and fully cache-served on a
+// warm -cachedir. The measured side — wall time, sustained requests/sec,
+// heap allocations per request — prints to stderr so it never perturbs the
+// artifact; cache-served runs show near-zero wall times there, which the
+// run-cache summary line makes legible.
+func renderScale(requests int64) string {
+	results := make([]experiments.ScaleResult, 0, len(experiments.ScaleSubstrates))
+	for _, substrate := range experiments.ScaleSubstrates {
+		substrate := substrate
+		var r experiments.ScaleResult
+		wall, allocs := benchgate.Measure(func() {
+			r = experiments.RunScale(substrate, requests)
+		})
+		results = append(results, r)
+		fmt.Fprintf(os.Stderr, "scale %-6s %d requests in %v wall, %.0f req/s, %.3f allocs/request\n",
+			substrate, r.Requests, wall, float64(r.Requests)/wall.Seconds(),
+			float64(allocs)/float64(r.Requests))
+	}
+	return fmt.Sprintf("════════ Scale: raw-speed campaign (%d substrates × %d requests) ════════\n\n%s",
+		len(results), requests, experiments.RenderScale(results))
+}

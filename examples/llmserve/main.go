@@ -71,7 +71,7 @@ type profiler struct {
 func (p *profiler) measure(setting float64) (float64, error) {
 	if p.s == nil || setting != p.setting {
 		p.setting = setting
-		p.s = sim.New()
+		p.s = sim.NewWithCapacity(64)
 		p.heap = memsim.NewHeap(64 * gib)
 		sv := llmserve.New(p.s, p.heap, llmserve.DefaultConfig())
 		sv.SetMaxBatchedTokens(int(setting))
@@ -111,7 +111,10 @@ func main() {
 	fmt.Printf("synthesized: α=%.2f heap bytes per prompt-KV byte, pole=%.2f, virtual goal %.2fGiB\n\n",
 		ic.ModelAlpha(), ic.Pole(), ic.VirtualGoal()/float64(gib))
 
-	s := sim.New()
+	// Pre-sized queue: this run never holds more than a few dozen pending
+	// events (arrival chain, step timer, two Every loops), so one up-front
+	// allocation covers the whole campaign.
+	s := sim.NewWithCapacity(64)
 	heap := memsim.NewHeap(deviceBytes)
 	sv := llmserve.New(s, heap, cfg)
 	heap.OnOOM(func() { fmt.Printf("%6s  *** OOM ***\n", s.Now()) })

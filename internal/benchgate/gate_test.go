@@ -55,6 +55,33 @@ var gated = []struct {
 			s.Run()
 		}
 	}},
+	{"smartconf/internal/sim.BenchmarkSimScheduleArg", func(b *testing.B) {
+		s := sim.NewWithCapacity(1)
+		fn := func(uint64) {}
+		t := time.Duration(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t += time.Millisecond
+			s.AtArg(t, fn, uint64(i))
+			s.Run()
+		}
+	}},
+	{"smartconf/internal/sim.BenchmarkSimBatchDispatch", func(b *testing.B) {
+		s := sim.NewWithCapacity(4)
+		var cascade func(uint64)
+		cascade = func(remaining uint64) {
+			if remaining > 0 {
+				s.AfterArg(0, cascade, remaining-1)
+			}
+		}
+		t := time.Duration(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t += time.Millisecond
+			s.AtArg(t, cascade, 63)
+			s.Run()
+		}
+	}},
 	{"smartconf/internal/metrics.BenchmarkMeterMark", func(b *testing.B) {
 		m := metrics.NewMeter(time.Second)
 		now := time.Duration(0)

@@ -1,0 +1,27 @@
+package benchgate
+
+import (
+	"runtime"
+	"time"
+)
+
+// Measure runs f once and reports its wall-clock duration and how many heap
+// objects it allocated. It lives here — not in internal/experiments — because
+// the experiments tree is simulation-reachable code where the determinism
+// analyzer bans wall-clock reads; benchgate is the one package whose whole
+// point is comparing against the wall. Callers (cmd/smartconf-bench -scale)
+// keep the results off the deterministic artifact: measured numbers go to
+// stderr and BENCH_engine.json, never stdout.
+//
+// The allocation count is a process-wide Mallocs delta, so it is only
+// meaningful when nothing else runs concurrently — run substrates
+// sequentially when measuring.
+func Measure(f func()) (wall time.Duration, allocs uint64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	f()
+	wall = time.Since(start)
+	runtime.ReadMemStats(&after)
+	return wall, after.Mallocs - before.Mallocs
+}

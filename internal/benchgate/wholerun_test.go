@@ -1,0 +1,92 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"smartconf/internal/experiments"
+)
+
+// The whole-run gate: where gate_test.go replays micro-op benchmarks, this
+// test drives each substrate's actual -scale run — workload generator,
+// simulator, substrate, sensors — and enforces the raw-speed engine's
+// contract end to end. Allocations are strict on the request-pooled
+// substrates: after a warm-up prefix, a window of tens of thousands of
+// requests must allocate NOTHING, the property that lets a 10M-request
+// campaign finish in seconds. Requests/sec is advisory against the recorded
+// baseline, like ns/op in the micro gate.
+
+const (
+	// wholeRunWarm is the prefix that grows every queue, free list, and
+	// sensor window to its steady-state size before measurement.
+	wholeRunWarm = 200_000
+	// wholeRunWindow is the measured steady-state window.
+	wholeRunWindow = 50_000
+)
+
+var wholeRun = []struct {
+	key       string
+	substrate string
+	// strict substrates must allocate zero heap objects across a whole
+	// steady-state window. dfs is exempt (du traversal chunks schedule
+	// closures a few times per million requests) and mapred is exempt
+	// (per-task chunk closures; jobs are the pooling unit there).
+	strict bool
+}{
+	{"smartconf/internal/experiments.ScaleRun/rpc", "rpc", true},
+	{"smartconf/internal/experiments.ScaleRun/llm", "llm", true},
+	{"smartconf/internal/experiments.ScaleRun/kv", "kv", true},
+	{"smartconf/internal/experiments.ScaleRun/dfs", "dfs", false},
+	{"smartconf/internal/experiments.ScaleRun/mapred", "mapred", false},
+}
+
+func TestWholeRunVsBaseline(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts and timing")
+	}
+	if testing.Short() {
+		t.Skip("benchmark gate skipped in -short mode")
+	}
+
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+
+	for _, g := range wholeRun {
+		entry, ok := base.Benchmarks[g.key]
+		if !ok {
+			t.Errorf("%s: whole-run gate has no baseline entry — record one", g.key)
+			continue
+		}
+		r := experiments.NewScaleRunner(g.substrate)
+		total := int64(wholeRunWarm)
+		r.RunTo(total)
+
+		if g.strict {
+			allocs := testing.AllocsPerRun(3, func() {
+				total += wholeRunWindow
+				r.RunTo(total)
+			})
+			if allocs != 0 {
+				t.Errorf("%s: %.1f allocs per %d-request steady-state window, want 0 — a new allocation crept onto the request path",
+					g.key, allocs, wholeRunWindow)
+			}
+		}
+
+		wall, _ := Measure(func() {
+			total += wholeRunWindow
+			r.RunTo(total)
+		})
+		nsPerReq := float64(wall.Nanoseconds()) / float64(wholeRunWindow)
+		if entry.NsPerOp > 0 && nsPerReq > entry.NsPerOp*timeWarnFactor {
+			t.Logf("warn: %s at %.1f ns/request vs %.1f recorded (×%.1f) — advisory only, host timing varies",
+				g.key, nsPerReq, entry.NsPerOp, nsPerReq/entry.NsPerOp)
+		}
+	}
+}

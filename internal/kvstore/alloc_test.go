@@ -1,0 +1,62 @@
+package kvstore
+
+import (
+	"testing"
+	"time"
+
+	"smartconf/internal/memsim"
+	"smartconf/internal/sim"
+)
+
+// The raw-speed gates for both kvstore substrates: once the pending buffers
+// and metrics windows have grown to their working size, a steady-state write
+// (including the flush cycles it triggers) must not allocate. Every
+// steady-state allocation multiplies by the 10M requests a -scale run pushes
+// through.
+
+func TestMemtableSteadyStateWritePathZeroAlloc(t *testing.T) {
+	s := sim.New()
+	heap := memsim.NewHeap(64 << 30)
+	st := NewMemtableStore(s, heap, DefaultMemtableConfig(), 64<<20)
+
+	var now time.Duration
+	cycle := func() {
+		now += 2 * time.Millisecond
+		s.RunUntil(now)
+		st.Write(32 << 10)
+	}
+	for i := 0; i < 5000; i++ {
+		cycle()
+	}
+
+	if allocs := testing.AllocsPerRun(2000, cycle); allocs != 0 {
+		t.Fatalf("steady-state write path allocates %.1f objects per cycle, want 0", allocs)
+	}
+	if st.Crashed() {
+		t.Fatal("store crashed during the measurement window")
+	}
+}
+
+func TestMemstoreSteadyStateWritePathZeroAlloc(t *testing.T) {
+	s := sim.New()
+	heap := memsim.NewHeap(64 << 30)
+	cfg := DefaultMemstoreConfig()
+	st := NewMemstore(s, heap, cfg, 0.5)
+
+	var now time.Duration
+	cycle := func() {
+		now += 2 * time.Millisecond
+		s.RunUntil(now)
+		st.Write(64 << 10)
+	}
+	for i := 0; i < 5000; i++ {
+		cycle()
+	}
+
+	if allocs := testing.AllocsPerRun(2000, cycle); allocs != 0 {
+		t.Fatalf("steady-state write path allocates %.1f objects per cycle, want 0", allocs)
+	}
+	if st.Crashed() {
+		t.Fatal("store crashed during the measurement window")
+	}
+}

@@ -53,6 +53,13 @@ type Memstore struct {
 
 	crashed bool
 
+	// flushAmount is the bytes the single in-flight flush will drain;
+	// flushDone reads it back instead of closing over it (only one flush is
+	// ever in flight — blocked gates startFlush). flushDoneFn is flushDone
+	// bound once: creating the method value per After call would allocate.
+	flushAmount int64
+	flushDoneFn func(uint64)
+
 	// Fleet surface (internal/cluster): identity and liveness across
 	// injected instance loss. epoch invalidates flush completions scheduled
 	// by a previous incarnation.
@@ -84,6 +91,7 @@ func NewMemstore(s *sim.Simulation, heap *memsim.Heap, cfg MemstoreConfig, flush
 		throughput:    metrics.NewMeter(10 * time.Second),
 		writeLatency:  metrics.NewLatency(512),
 	}
+	st.flushDoneFn = st.flushDone
 	if err := heap.Alloc(cfg.BaseHeapBytes); err != nil {
 		st.crashed = true
 	}
@@ -189,16 +197,20 @@ func (st *Memstore) startFlush() {
 	if st.cfg.FlushBytesPerSec > 0 {
 		d += time.Duration(float64(amount) / float64(st.cfg.FlushBytesPerSec) * float64(time.Second))
 	}
-	e := st.epoch
-	st.sim.After(d, func() {
-		if st.epoch != e || st.crashed {
-			return
-		}
-		st.heap.Free(amount)
-		st.bytes -= amount
-		st.blocked = false
-		st.blockTimes.Observe(st.sim.Now() - st.blockStart)
-	})
+	st.flushAmount = amount
+	st.sim.AfterArg(d, st.flushDoneFn, st.epoch)
+}
+
+// flushDone retires a flush: the argument carries the scheduling
+// incarnation's epoch, invalidating completions across Kill.
+func (st *Memstore) flushDone(arg uint64) {
+	if st.epoch != arg || st.crashed {
+		return
+	}
+	st.heap.Free(st.flushAmount)
+	st.bytes -= st.flushAmount
+	st.blocked = false
+	st.blockTimes.Observe(st.sim.Now() - st.blockStart)
 }
 
 // Fleet surface: what internal/cluster needs to route to, kill, and restart

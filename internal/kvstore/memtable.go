@@ -63,13 +63,19 @@ type MemtableStore struct {
 
 	// pending holds writes throttled because the memtable is at its limit
 	// while a flush is in flight; they apply (and allocate) at flush end.
-	pending      []pendingWrite
-	pendingBytes int64
+	// pending and pendingScratch ping-pong so the drain allocates nothing.
+	pending        []pendingWrite
+	pendingScratch []pendingWrite
+	pendingBytes   int64
 
 	cacheBytes  int64
 	cacheTarget int64
 
 	crashed bool
+
+	// flushDoneFn is flushDone bound once — creating the method value per
+	// After call would allocate.
+	flushDoneFn func(uint64)
 
 	writeLatency *metrics.Latency
 	writes       metrics.Counter
@@ -90,6 +96,7 @@ func NewMemtableStore(s *sim.Simulation, heap *memsim.Heap, cfg MemtableConfig, 
 		threshold:    threshold,
 		writeLatency: metrics.NewLatency(512),
 	}
+	st.flushDoneFn = st.flushDone
 	if err := heap.Alloc(cfg.BaseHeapBytes); err != nil {
 		st.crashed = true
 	}
@@ -220,22 +227,28 @@ func (st *MemtableStore) maybeFlush() {
 	if st.cfg.FlushBytesPerSec > 0 {
 		d += time.Duration(float64(st.flushing) / float64(st.cfg.FlushBytesPerSec) * float64(time.Second))
 	}
-	st.sim.After(d, func() {
+	st.sim.AfterArg(d, st.flushDoneFn, 0)
+}
+
+// flushDone retires a flush. MemtableStore has no fleet Kill, so the event
+// argument is unused.
+func (st *MemtableStore) flushDone(uint64) {
+	if st.crashed {
+		return
+	}
+	st.heap.Free(st.flushing)
+	st.flushing = 0
+	// Throttled writes land now, paying their wait as latency. The two
+	// pending buffers ping-pong so the drain reuses their capacity.
+	pend := st.pending
+	st.pending = st.pendingScratch[:0]
+	st.pendingScratch = pend
+	st.pendingBytes = 0
+	for _, pw := range pend {
 		if st.crashed {
 			return
 		}
-		st.heap.Free(st.flushing)
-		st.flushing = 0
-		// Throttled writes land now, paying their wait as latency.
-		pend := st.pending
-		st.pending = nil
-		st.pendingBytes = 0
-		for _, pw := range pend {
-			if st.crashed {
-				return
-			}
-			st.apply(pw.bytes, st.sim.Now()-pw.at)
-		}
-		st.maybeFlush()
-	})
+		st.apply(pw.bytes, st.sim.Now()-pw.at)
+	}
+	st.maybeFlush()
 }

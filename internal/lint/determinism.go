@@ -51,8 +51,8 @@ var globalRandFuncs = map[string]bool{
 // observable is produced in map-iteration order.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
-	Doc: "forbids wall-clock reads, global math/rand, and order-dependent " +
-		"map iteration in simulation-reachable packages",
+	Doc: "forbids wall-clock reads, global math/rand, sync.Pool, and " +
+		"order-dependent map iteration in simulation-reachable packages",
 	Run: runDeterminism,
 }
 
@@ -65,6 +65,8 @@ func runDeterminism(pass *Pass) error {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				checkDeterminismCall(pass, n)
+			case *ast.SelectorExpr:
+				checkSyncPool(pass, n)
 			case *ast.FuncDecl:
 				if n.Body != nil {
 					checkMapRanges(pass, n.Body)
@@ -74,6 +76,28 @@ func runDeterminism(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkSyncPool flags every mention of the sync.Pool type — field types,
+// variable declarations, composite literals. The GC empties a sync.Pool on
+// its own schedule, so whether Get returns a recycled object or a fresh one
+// depends on collection timing, and any code observing the difference
+// (pointer identity, retained capacity, reset state) diverges between
+// otherwise identical runs. Substrates pool with plain free-list slices
+// keyed to the owning struct instead: same amortized zero-allocation
+// steady state, fully deterministic reuse order.
+func checkSyncPool(pass *Pass, sel *ast.SelectorExpr) {
+	obj, ok := pass.Info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	if _, isType := obj.(*types.TypeName); !isType {
+		return
+	}
+	if obj.Pkg().Path() == "sync" && obj.Name() == "Pool" {
+		pass.Reportf(sel.Pos(),
+			"sync.Pool in simulation-reachable code: reuse depends on GC timing; pool with a free-list slice owned by the struct instead")
+	}
 }
 
 func pathMatchesPrefix(path string, prefixes []string) bool {

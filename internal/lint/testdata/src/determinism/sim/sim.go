@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -74,6 +75,37 @@ func CountInts(m map[string]int) int {
 		n++
 	}
 	return n
+}
+
+// PooledServer pins the sync.Pool ban: GC-timed reuse makes object identity
+// and retained capacity diverge between identical runs.
+type PooledServer struct {
+	batches sync.Pool // want "sync.Pool in simulation-reachable code"
+}
+
+func LocalPool() interface{} {
+	var p sync.Pool // want "sync.Pool in simulation-reachable code"
+	p.New = func() interface{} { return new(int) }
+	return p.Get()
+}
+
+// FreeListServer is the sanctioned pattern: a free-list slice owned by the
+// struct, reuse order fully determined by the code that pushes and pops.
+type FreeListServer struct {
+	free [][]int
+}
+
+func (s *FreeListServer) Get() []int {
+	if n := len(s.free); n > 0 {
+		b := s.free[n-1]
+		s.free = s.free[:n-1]
+		return b
+	}
+	return make([]int, 0, 16)
+}
+
+func (s *FreeListServer) Put(b []int) {
+	s.free = append(s.free, b[:0])
 }
 
 // AllowedWall proves the suppression escape hatch: the allow comment names

@@ -1,0 +1,44 @@
+package llmserve
+
+import (
+	"testing"
+	"time"
+
+	"smartconf/internal/memsim"
+	"smartconf/internal/sim"
+	"smartconf/internal/workload"
+)
+
+// TestSteadyStateRequestPathZeroAlloc is the raw-speed gate for this
+// substrate: once the waiting array, the sequence free list, the step
+// snapshot buffer, and the metrics windows have grown to their working size,
+// offering a request and decoding it to completion must not allocate. Every
+// steady-state allocation multiplies by the 10M requests a -scale run pushes
+// through.
+func TestSteadyStateRequestPathZeroAlloc(t *testing.T) {
+	s := sim.New()
+	heap := memsim.NewHeap(16 << 30)
+	sv := New(s, heap, DefaultConfig())
+	sv.SetMaxBatchedTokens(4096)
+
+	var now time.Duration
+	cycle := func() {
+		now += 20 * time.Millisecond
+		s.RunUntil(now)
+		sv.Offer(workload.LLMRequest{Prompt: 32, Output: 16})
+	}
+	// Warm: grow every buffer past its steady-state high watermark.
+	for i := 0; i < 2000; i++ {
+		cycle()
+	}
+
+	if allocs := testing.AllocsPerRun(1000, cycle); allocs != 0 {
+		t.Fatalf("steady-state request path allocates %.1f objects per cycle, want 0", allocs)
+	}
+	if sv.Crashed() {
+		t.Fatal("server crashed during the measurement window")
+	}
+	if sv.Completed() == 0 {
+		t.Fatal("no requests completed: the measurement exercised nothing")
+	}
+}

@@ -22,7 +22,7 @@ func (sv *Server) Down() bool { return sv.down }
 
 // Load returns the server's backlog — waiting plus running sequences — the
 // signal load-aware routing policies compare.
-func (sv *Server) Load() float64 { return float64(len(sv.waiting) + len(sv.running)) }
+func (sv *Server) Load() float64 { return float64(sv.WaitingLen() + len(sv.running)) }
 
 // Kill models abrupt process death for fleet chaos: the accelerator heap is
 // released in full (base weights, resident KV, in-flight step scratch),
@@ -38,14 +38,23 @@ func (sv *Server) Kill() {
 	sv.down = true
 	sv.epoch++
 	held := int64(sv.residentTokens)*sv.cfg.KVBytesPerToken + sv.scratchHeld + sv.cfg.BaseHeapBytes
-	for _, s := range sv.waiting {
+	for _, s := range sv.waiting[sv.waitingHead:] {
 		sv.evacuateReq(s.req)
+		sv.putSeq(s)
 	}
 	for _, s := range sv.running {
 		sv.evacuateReq(s.req)
+		sv.putSeq(s)
 	}
-	sv.waiting = nil
-	sv.running = nil
+	for i := range sv.waiting {
+		sv.waiting[i] = nil
+	}
+	sv.waiting = sv.waiting[:0]
+	sv.waitingHead = 0
+	for i := range sv.running {
+		sv.running[i] = nil
+	}
+	sv.running = sv.running[:0]
 	sv.residentTokens = 0
 	sv.promptTokens = 0
 	sv.scratchHeld = 0

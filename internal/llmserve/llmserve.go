@@ -102,13 +102,34 @@ type Server struct {
 	maxBatchedTokens int // max.num.batched.tokens knob
 	waitingLimit     int // admission.queue.limit knob
 
-	waiting        []*seq // bounded admission queue (FIFO; evictees rejoin at the head)
+	// waiting[waitingHead:] is the bounded admission queue (FIFO; evictees
+	// rejoin at the head). Consuming advances waitingHead instead of
+	// reslicing, so the array's capacity is reused and steady-state admission
+	// allocates nothing; the dead prefix is reset when empty and compacted
+	// when it dominates.
+	waiting        []*seq
+	waitingHead    int
 	running        []*seq // the continuous batch, admission order
 	residentTokens int    // tokens with allocated KV (the deputy, in tokens)
 	promptTokens   int    // admitted prompt tokens (what the bound counts)
 
 	stepping bool
 	crashed  bool
+
+	// Raw-speed free lists, keyed to this server (NOT sync.Pool: pool reuse
+	// order is scheduler-dependent and would break deterministic replay).
+	// seqPool recycles completed sequences so a steady-state request
+	// allocates nothing; stepBatch is the reusable snapshot of running taken
+	// each step (eviction inside ensureKV mutates running mid-loop).
+	seqPool   []*seq
+	stepBatch []*seq
+
+	// stepScratch is the activation scratch of the single in-flight step;
+	// endStepArg reads it back instead of closing over it. endStepFn is
+	// endStepArg bound once — creating the method value per AfterArg call
+	// would allocate.
+	stepScratch int64
+	endStepFn   func(uint64)
 
 	// Fleet surface (internal/cluster): identity, liveness across injected
 	// instance loss, and the scratch bytes held by in-flight steps that Kill
@@ -165,10 +186,57 @@ func New(s *sim.Simulation, heap *memsim.Heap, cfg Config) *Server {
 		ttft:             metrics.NewLatency(1024),
 		e2e:              metrics.NewLatency(1024),
 	}
+	sv.endStepFn = sv.endStepArg
 	if err := heap.Alloc(cfg.BaseHeapBytes); err != nil {
 		sv.crashed = true
 	}
 	return sv
+}
+
+// getSeq returns a recycled sequence or a fresh one, initialized for req.
+func (sv *Server) getSeq(req workload.LLMRequest) *seq {
+	if n := len(sv.seqPool); n > 0 {
+		s := sv.seqPool[n-1]
+		sv.seqPool[n-1] = nil
+		sv.seqPool = sv.seqPool[:n-1]
+		*s = seq{req: req, arrived: sv.sim.Now()}
+		return s
+	}
+	return &seq{req: req, arrived: sv.sim.Now()}
+}
+
+// putSeq recycles a retired sequence. Callers must hold no other reference.
+func (sv *Server) putSeq(s *seq) { sv.seqPool = append(sv.seqPool, s) }
+
+// popWaiting removes and returns the admission queue's head.
+func (sv *Server) popWaiting() *seq {
+	s := sv.waiting[sv.waitingHead]
+	sv.waiting[sv.waitingHead] = nil
+	sv.waitingHead++
+	if sv.waitingHead == len(sv.waiting) {
+		sv.waiting = sv.waiting[:0]
+		sv.waitingHead = 0
+	} else if sv.waitingHead > 64 && sv.waitingHead*2 >= len(sv.waiting) {
+		m := copy(sv.waiting, sv.waiting[sv.waitingHead:])
+		for i := m; i < len(sv.waiting); i++ {
+			sv.waiting[i] = nil
+		}
+		sv.waiting = sv.waiting[:m]
+		sv.waitingHead = 0
+	}
+	return s
+}
+
+// pushWaitingFront returns an evictee to the head of the admission queue.
+func (sv *Server) pushWaitingFront(s *seq) {
+	if sv.waitingHead > 0 {
+		sv.waitingHead--
+		sv.waiting[sv.waitingHead] = s
+		return
+	}
+	sv.waiting = append(sv.waiting, nil)
+	copy(sv.waiting[1:], sv.waiting)
+	sv.waiting[0] = s
 }
 
 // SetMaxBatchedTokens sets the max.num.batched.tokens knob: admission stops
@@ -216,7 +284,7 @@ func (sv *Server) PromptTokens() int { return sv.promptTokens }
 
 // WaitingLen returns the admission-queue depth (the admission.queue.limit
 // deputy variable).
-func (sv *Server) WaitingLen() int { return len(sv.waiting) }
+func (sv *Server) WaitingLen() int { return len(sv.waiting) - sv.waitingHead }
 
 // RunningLen returns the number of sequences in the continuous batch.
 func (sv *Server) RunningLen() int { return len(sv.running) }
@@ -263,11 +331,11 @@ func (sv *Server) Offer(req workload.LLMRequest) bool {
 	if sv.BeforeAdmit != nil {
 		sv.BeforeAdmit()
 	}
-	if len(sv.waiting) >= sv.waitingLimit {
+	if sv.WaitingLen() >= sv.waitingLimit {
 		sv.rejected.Inc()
 		return false
 	}
-	sv.waiting = append(sv.waiting, &seq{req: req, arrived: sv.sim.Now()})
+	sv.waiting = append(sv.waiting, sv.getSeq(req))
 	sv.kick()
 	return true
 }
@@ -279,7 +347,7 @@ func (sv *Server) crash() {
 	sv.crashed = true
 	// A dead process serves nothing; all in-flight and queued work is lost
 	// from the clients' perspective.
-	sv.dropped.Add(int64(len(sv.waiting) + len(sv.running)))
+	sv.dropped.Add(int64(sv.WaitingLen() + len(sv.running)))
 }
 
 // kick starts the step loop if it is idle and there is work.
@@ -287,7 +355,7 @@ func (sv *Server) kick() {
 	if sv.stepping || sv.crashed || sv.down {
 		return
 	}
-	if len(sv.running) == 0 && len(sv.waiting) == 0 {
+	if len(sv.running) == 0 && sv.WaitingLen() == 0 {
 		return
 	}
 	sv.stepping = true
@@ -298,12 +366,12 @@ func (sv *Server) kick() {
 // the token bound. Prompt tokens only: output lengths are unknown to a real
 // server, so decode growth is deliberately not reserved for.
 func (sv *Server) admit() {
-	for len(sv.waiting) > 0 {
-		s := sv.waiting[0]
+	for sv.WaitingLen() > 0 {
+		s := sv.waiting[sv.waitingHead]
 		if sv.promptTokens > sv.maxBatchedTokens-s.req.Prompt {
 			break // head-of-line blocking, like a real FIFO admission queue
 		}
-		sv.waiting = sv.waiting[1:]
+		sv.popWaiting()
 		sv.promptTokens += s.req.Prompt
 		s.inRunning = true
 		sv.running = append(sv.running, s)
@@ -326,9 +394,11 @@ func (sv *Server) step() {
 	}
 	sv.admit()
 
-	// Snapshot: eviction inside ensureKV mutates sv.running mid-loop.
-	batch := make([]*seq, len(sv.running))
-	copy(batch, sv.running)
+	// Snapshot: eviction inside ensureKV mutates sv.running mid-loop. The
+	// snapshot buffer is reused across steps — a fresh slice per step would
+	// dominate steady-state allocations.
+	batch := append(sv.stepBatch[:0], sv.running...)
+	sv.stepBatch = batch
 	scheduled := 0
 
 	// Decode: one token for every sequence past prefill.
@@ -390,12 +460,19 @@ func (sv *Server) step() {
 
 	sv.scratchHeld += scratch
 	d := sv.cfg.StepBase + time.Duration(scheduled)*sv.cfg.StepPerToken
-	e := sv.epoch
-	sv.sim.After(d, func() {
-		if sv.epoch == e {
-			sv.endStep(scratch)
-		}
-	})
+	// Closure-free retirement: only one step is ever in flight, so its
+	// scratch rides in a field and the epoch rides in the event argument.
+	sv.stepScratch = scratch
+	sv.sim.AfterArg(d, sv.endStepFn, sv.epoch)
+}
+
+// endStepArg is the scheduled form of endStep: the argument carries the
+// scheduling incarnation's epoch, invalidating callbacks across Kill.
+func (sv *Server) endStepArg(arg uint64) {
+	if sv.epoch != arg {
+		return
+	}
+	sv.endStep(sv.stepScratch)
 }
 
 // endStep retires a step: frees scratch, records first tokens and
@@ -426,6 +503,7 @@ func (sv *Server) endStep(scratch int64) {
 			sv.outputTokens.Add(int64(s.req.Output))
 			sv.goodput.Mark(now, float64(s.req.Output))
 			sv.e2e.Observe(now - s.arrived)
+			sv.putSeq(s)
 			continue
 		}
 		keep = append(keep, s)
@@ -488,5 +566,5 @@ func (sv *Server) evict(s *seq) {
 	s.outputDone = 0
 	s.inRunning = false
 	sv.evictions.Inc()
-	sv.waiting = append([]*seq{s}, sv.waiting...)
+	sv.pushWaitingFront(s)
 }

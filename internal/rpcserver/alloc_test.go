@@ -1,0 +1,43 @@
+package rpcserver
+
+import (
+	"testing"
+	"time"
+
+	"smartconf/internal/memsim"
+	"smartconf/internal/sim"
+)
+
+// TestSteadyStateRequestPathZeroAlloc is the raw-speed gate for this
+// substrate: once the queue arrays, the slot table, the batch free list, and
+// the metrics windows have grown to their working size, offering a request
+// and simulating it to completion must not allocate. Every steady-state
+// allocation multiplies by the 10M requests a -scale run pushes through.
+func TestSteadyStateRequestPathZeroAlloc(t *testing.T) {
+	s := sim.New()
+	heap := memsim.NewHeap(8 << 30)
+	sv := New(s, heap, testConfig())
+	sv.SetMaxQueue(256)
+
+	var now time.Duration
+	cycle := func() {
+		now += 5 * time.Millisecond
+		s.RunUntil(now)
+		sv.Offer(writeOp(4 << 10))
+		sv.Offer(readOp(4 << 10))
+	}
+	// Warm: grow every buffer past its steady-state high watermark.
+	for i := 0; i < 3000; i++ {
+		cycle()
+	}
+
+	if allocs := testing.AllocsPerRun(2000, cycle); allocs != 0 {
+		t.Fatalf("steady-state request path allocates %.1f objects per cycle, want 0", allocs)
+	}
+	if sv.Crashed() {
+		t.Fatal("server crashed during the measurement window")
+	}
+	if sv.Completed() == 0 {
+		t.Fatal("no requests completed: the measurement exercised nothing")
+	}
+}

@@ -1,6 +1,10 @@
 package rpcserver
 
-import "smartconf/internal/workload"
+import (
+	"sort"
+
+	"smartconf/internal/workload"
+)
 
 // Fleet surface: what internal/cluster needs to route to, kill, and restart
 // this server as one member of an N-wide fleet. The methods are structural —
@@ -22,7 +26,7 @@ func (sv *Server) Down() bool { return sv.down }
 
 // Load returns the server's backlog — queued plus in-flight calls — the
 // signal load-aware routing policies compare.
-func (sv *Server) Load() float64 { return float64(len(sv.queue) + sv.inflightCalls) }
+func (sv *Server) Load() float64 { return float64(sv.QueueLen() + sv.inflightCalls) }
 
 // Kill models abrupt process death for fleet chaos: the process releases
 // every byte it accounts (base heap, queued and in-flight request payloads,
@@ -38,19 +42,31 @@ func (sv *Server) Kill() {
 	sv.down = true
 	sv.epoch++
 	held := sv.queueBytes + sv.respBytes + sv.cfg.BaseHeapBytes
-	for _, c := range sv.queue {
+	for _, c := range sv.queue[sv.queueHead:] {
 		sv.evacuate(c.op)
 	}
-	for _, b := range sv.inflight {
-		for _, c := range b {
-			sv.evacuate(c.op)
+	// Evacuate in-flight batches oldest-dispatch-first: slot indices are
+	// reused out of order, so index order would reshuffle the fleet's retry
+	// stream relative to the ordered inflight list this table replaced.
+	active := make([]int, 0, len(sv.slots))
+	for slot, b := range sv.slots {
+		if b != nil {
+			active = append(active, slot)
 		}
 	}
-	sv.queue = nil
+	sort.Slice(active, func(i, j int) bool { return sv.slotSeq[active[i]] < sv.slotSeq[active[j]] })
+	for _, slot := range active {
+		for _, c := range sv.slots[slot] {
+			sv.evacuate(c.op)
+		}
+		sv.releaseSlot(slot)
+	}
+	sv.queue = sv.queue[:0]
+	sv.queueHead = 0
 	sv.queueBytes = 0
-	sv.inflight = nil
 	sv.inflightCalls = 0
-	sv.respQueue = nil
+	sv.respQueue = sv.respQueue[:0]
+	sv.respHead = 0
 	sv.respBytes = 0
 	sv.busy = 0
 	sv.draining = false
@@ -80,14 +96,4 @@ func (sv *Server) evacuate(op workload.Op) {
 		return
 	}
 	sv.dropped.Inc()
-}
-
-func (sv *Server) removeInflight(batch []call) {
-	for i := range sv.inflight {
-		if len(sv.inflight[i]) > 0 && len(batch) > 0 && &sv.inflight[i][0] == &batch[0] {
-			sv.inflight = append(sv.inflight[:i], sv.inflight[i+1:]...)
-			sv.inflightCalls -= len(batch)
-			return
-		}
-	}
 }

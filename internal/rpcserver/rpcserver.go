@@ -98,13 +98,23 @@ type Server struct {
 	maxQueueItems int   // HB3813 knob (call count)
 	maxRespBytes  int64 // HB6728 knob (bytes)
 
+	// queue[queueHead:] is the live call queue. Consuming from the front
+	// advances queueHead instead of reslicing (queue = queue[n:] would leak
+	// the array's front capacity and force a reallocation per cycle); the
+	// array is reset when empty and compacted when the dead prefix dominates,
+	// so steady-state admission costs zero allocations.
 	queue      []call
+	queueHead  int
 	queueBytes int64
 	busy       int
 
-	respQueue []int64 // response sizes awaiting drain (FIFO)
+	// respQueue[respHead:] holds response sizes awaiting drain (FIFO), with
+	// the same dead-prefix discipline as the call queue.
+	respQueue []int64
+	respHead  int
 	respBytes int64
 	draining  bool
+	drainSize int64 // size of the response being drained (one in flight)
 
 	crashed bool
 
@@ -112,11 +122,25 @@ type Server struct {
 	// instance loss, and the in-flight batches that must be evacuated when
 	// the process is killed. epoch invalidates scheduled callbacks from a
 	// previous incarnation.
-	id            int
-	down          bool
+	id   int
+	down bool
+
+	// In-flight batches live in a slot table: slots[i] is a pooled []call or
+	// nil when free, freeSlots is the free-index stack, and a scheduled
+	// completion carries slot<<32|epoch as its AtArg argument — no closure,
+	// and a stable identity that survives other batches retiring.
 	epoch         uint64
-	inflight      [][]call
+	slots         [][]call
+	slotSeq       []uint64 // dispatch order per slot: Kill evacuates oldest-first
+	dispatchSeq   uint64
+	freeSlots     []int
+	batchPool     [][]call // retired batch buffers for reuse
 	inflightCalls int
+
+	// finishFn/drainFn are finishSlot/drainDone bound once at construction:
+	// creating the method value at each AfterArg call site would allocate.
+	finishFn func(uint64)
+	drainFn  func(uint64)
 
 	completed  metrics.Counter
 	rejected   metrics.Counter
@@ -149,6 +173,8 @@ func New(s *sim.Simulation, heap *memsim.Heap, cfg Config) *Server {
 		throughput:    metrics.NewMeter(10 * time.Second),
 		latency:       metrics.NewLatency(512),
 	}
+	sv.finishFn = sv.finishSlot
+	sv.drainFn = sv.drainDone
 	if err := heap.Alloc(cfg.BaseHeapBytes); err != nil {
 		sv.crashed = true
 	}
@@ -195,7 +221,7 @@ func (sv *Server) MaxQueue() int { return sv.maxQueueItems }
 func (sv *Server) MaxRespBytes() int64 { return sv.maxRespBytes }
 
 // QueueLen returns the number of queued calls (the HB3813 deputy variable).
-func (sv *Server) QueueLen() int { return len(sv.queue) }
+func (sv *Server) QueueLen() int { return len(sv.queue) - sv.queueHead }
 
 // RespBytes returns the response-queue occupancy in bytes (the HB6728
 // deputy variable).
@@ -229,7 +255,7 @@ func (sv *Server) Offer(op workload.Op) bool {
 	if sv.BeforeAdmit != nil {
 		sv.BeforeAdmit()
 	}
-	if len(sv.queue) >= sv.maxQueueItems {
+	if sv.QueueLen() >= sv.maxQueueItems {
 		sv.rejected.Inc()
 		return false
 	}
@@ -250,7 +276,56 @@ func (sv *Server) crash() {
 	sv.crashed = true
 	// A crashed JVM releases nothing and serves nothing; queued work is lost
 	// from the clients' perspective.
-	sv.dropped.Add(int64(len(sv.queue)))
+	sv.dropped.Add(int64(sv.QueueLen()))
+}
+
+// getBatch returns a retired batch buffer, or a fresh one sized to MaxBatch.
+func (sv *Server) getBatch() []call {
+	if n := len(sv.batchPool); n > 0 {
+		b := sv.batchPool[n-1][:0]
+		sv.batchPool[n-1] = nil
+		sv.batchPool = sv.batchPool[:n-1]
+		return b
+	}
+	capHint := sv.cfg.MaxBatch
+	if capHint < 1 {
+		capHint = 1
+	}
+	return make([]call, 0, capHint)
+}
+
+// takeSlot parks an in-flight batch and returns its stable slot index.
+func (sv *Server) takeSlot(batch []call) int {
+	sv.dispatchSeq++
+	if n := len(sv.freeSlots); n > 0 {
+		slot := sv.freeSlots[n-1]
+		sv.freeSlots = sv.freeSlots[:n-1]
+		sv.slots[slot] = batch
+		sv.slotSeq[slot] = sv.dispatchSeq
+		return slot
+	}
+	sv.slots = append(sv.slots, batch)
+	sv.slotSeq = append(sv.slotSeq, sv.dispatchSeq)
+	return len(sv.slots) - 1
+}
+
+// releaseSlot retires an in-flight batch: the slot returns to the free stack
+// and the buffer to the pool.
+func (sv *Server) releaseSlot(slot int) {
+	batch := sv.slots[slot]
+	sv.slots[slot] = nil
+	sv.freeSlots = append(sv.freeSlots, slot)
+	sv.inflightCalls -= len(batch)
+	sv.batchPool = append(sv.batchPool, batch)
+}
+
+// finishArg packs a completion's AtArg argument: the batch's slot in the
+// high 32 bits, the scheduling incarnation's epoch in the low 32. A stale
+// epoch (the server was killed and the slot table cleared) makes the
+// callback a no-op, exactly like the closure-captured epoch check it
+// replaces.
+func (sv *Server) finishArg(slot int) uint64 {
+	return uint64(slot)<<32 | uint64(uint32(sv.epoch))
 }
 
 func (sv *Server) dispatch() {
@@ -258,14 +333,21 @@ func (sv *Server) dispatch() {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
-	for !sv.crashed && !sv.down && sv.busy < sv.cfg.Workers && len(sv.queue) > 0 {
+	for !sv.crashed && !sv.down && sv.busy < sv.cfg.Workers && sv.QueueLen() > 0 {
 		n := maxBatch
-		if n > len(sv.queue) {
-			n = len(sv.queue)
+		if q := sv.QueueLen(); n > q {
+			n = q
 		}
-		batch := make([]call, n)
-		copy(batch, sv.queue[:n])
-		sv.queue = sv.queue[n:]
+		batch := append(sv.getBatch(), sv.queue[sv.queueHead:sv.queueHead+n]...)
+		sv.queueHead += n
+		if sv.queueHead == len(sv.queue) {
+			sv.queue = sv.queue[:0]
+			sv.queueHead = 0
+		} else if sv.queueHead > 64 && sv.queueHead*2 >= len(sv.queue) {
+			m := copy(sv.queue, sv.queue[sv.queueHead:])
+			sv.queue = sv.queue[:m]
+			sv.queueHead = 0
+		}
 		sv.busy++
 		var bytes int64
 		for _, c := range batch {
@@ -275,21 +357,26 @@ func (sv *Server) dispatch() {
 		if sv.cfg.ServiceBytesPerSec > 0 {
 			d += time.Duration(float64(bytes) / float64(sv.cfg.ServiceBytesPerSec) * float64(time.Second))
 		}
-		sv.inflight = append(sv.inflight, batch)
+		slot := sv.takeSlot(batch)
 		sv.inflightCalls += n
-		e := sv.epoch
-		sv.sim.After(d, func() {
-			if sv.epoch == e {
-				sv.finish(batch)
-			}
-		})
+		sv.sim.AfterArg(d, sv.finishFn, sv.finishArg(slot))
 	}
 }
 
-func (sv *Server) finish(batch []call) {
+// finishSlot is the scheduled completion entry point (bound once as
+// finishFn). It unpacks the slot and epoch and drops stale incarnations.
+func (sv *Server) finishSlot(arg uint64) {
+	if uint32(arg) != uint32(sv.epoch) {
+		return
+	}
+	sv.finish(int(arg >> 32))
+}
+
+func (sv *Server) finish(slot int) {
 	if sv.crashed {
 		return
 	}
+	batch := sv.slots[slot]
 	var respSize, reqBytes int64
 	for _, c := range batch {
 		reqBytes += c.op.Bytes
@@ -312,9 +399,9 @@ func (sv *Server) finish(batch []call) {
 			// moves on.
 			sv.heap.Free(reqBytes)
 			sv.queueBytes -= reqBytes
-			sv.removeInflight(batch)
-			sv.busy--
 			sv.rejected.Add(int64(len(batch)))
+			sv.releaseSlot(slot)
+			sv.busy--
 			sv.dispatch()
 			return
 		}
@@ -322,12 +409,7 @@ func (sv *Server) finish(batch []call) {
 		// An oversize batch is admitted into an EMPTY response queue so a
 		// bound below one batch cannot deadlock the server (§4.2's tolerated
 		// transient inconsistency between a knob and its deputy).
-		e := sv.epoch
-		sv.sim.After(sv.cfg.ResponseRetry, func() {
-			if sv.epoch == e {
-				sv.finish(batch)
-			}
-		})
+		sv.sim.AfterArg(sv.cfg.ResponseRetry, sv.finishFn, sv.finishArg(slot))
 		return
 	}
 	if err := sv.heap.Alloc(respSize); err != nil {
@@ -350,26 +432,28 @@ func (sv *Server) finish(batch []call) {
 		}
 	}
 	sv.respBytes += respSize
-	sv.removeInflight(batch)
-	sv.busy--
 	sv.completed.Add(int64(len(batch)))
 	sv.throughput.Mark(sv.sim.Now(), float64(len(batch)))
 	for _, c := range batch {
 		sv.latency.Observe(sv.sim.Now() - c.arrived)
 	}
+	sv.releaseSlot(slot)
+	sv.busy--
 	sv.drain()
 	sv.dispatch()
 }
 
+func (sv *Server) respLen() int { return len(sv.respQueue) - sv.respHead }
+
 func (sv *Server) drain() {
-	if sv.draining || sv.crashed || len(sv.respQueue) == 0 {
+	if sv.draining || sv.crashed || sv.respLen() == 0 {
 		return
 	}
 	sv.draining = true
-	size := sv.respQueue[0]
+	size := sv.respQueue[sv.respHead]
 	rate := sv.cfg.DrainBytesPerSec
 	if sv.cfg.PerConnDrainBytesPerSec > 0 {
-		if conns := int64(len(sv.respQueue)); conns*sv.cfg.PerConnDrainBytesPerSec < rate {
+		if conns := int64(sv.respLen()); conns*sv.cfg.PerConnDrainBytesPerSec < rate {
 			rate = conns * sv.cfg.PerConnDrainBytesPerSec
 		}
 	}
@@ -377,18 +461,32 @@ func (sv *Server) drain() {
 	if d <= 0 {
 		d = time.Microsecond
 	}
-	e := sv.epoch
-	sv.sim.After(d, func() {
-		if sv.epoch != e {
-			return
-		}
-		sv.draining = false
-		if sv.crashed {
-			return
-		}
-		sv.respQueue = sv.respQueue[1:]
-		sv.respBytes -= size
-		sv.heap.Free(size)
-		sv.drain()
-	})
+	sv.drainSize = size
+	sv.sim.AfterArg(d, sv.drainFn, sv.epoch)
+}
+
+// drainDone is the scheduled drain completion (bound once as drainFn): one
+// response has finished transferring to its client. Only one drain is in
+// flight at a time, so the size lives in drainSize rather than a closure.
+func (sv *Server) drainDone(arg uint64) {
+	if sv.epoch != arg {
+		return
+	}
+	sv.draining = false
+	if sv.crashed {
+		return
+	}
+	size := sv.drainSize
+	sv.respHead++
+	if sv.respHead == len(sv.respQueue) {
+		sv.respQueue = sv.respQueue[:0]
+		sv.respHead = 0
+	} else if sv.respHead > 64 && sv.respHead*2 >= len(sv.respQueue) {
+		m := copy(sv.respQueue, sv.respQueue[sv.respHead:])
+		sv.respQueue = sv.respQueue[:m]
+		sv.respHead = 0
+	}
+	sv.respBytes -= size
+	sv.heap.Free(size)
+	sv.drain()
 }

@@ -16,6 +16,21 @@
 // inline in a slice (no per-At allocation, no interface boxing as with
 // container/heap), and the wider fan-out halves the sift-down depth for the
 // queue sizes the substrates produce.
+//
+// Two raw-speed facilities serve 10M-request runs (see DESIGN.md):
+//
+//   - AtArg/AfterArg schedule a monomorphic event — a func(uint64) plus its
+//     argument, both stored inline in the event — so the per-request
+//     schedule→fire cycle allocates no closure. Substrates bind a method
+//     value once at construction and pass the stored field; creating the
+//     method value at the call site would allocate.
+//   - A same-instant batch lane: an event scheduled for exactly the current
+//     instant (t == Now) bypasses the heap into a FIFO ring and is popped in
+//     O(1) with no sifting. The (time, seq) order is preserved exactly: any
+//     heap event with at == Now was necessarily scheduled at an earlier
+//     instant (scheduling into the heap requires t > Now), hence carries a
+//     smaller sequence number than every ring event, so draining heap
+//     events at Now before the ring replays the heap-only order bit for bit.
 package sim
 
 import (
@@ -23,11 +38,24 @@ import (
 	"time"
 )
 
-// event is a scheduled callback, stored by value in the heap slice.
+// event is a scheduled callback, stored by value in the heap slice and the
+// same-instant ring. Exactly one of fn (closure form, At) or argFn
+// (monomorphic form, AtArg) is set.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	argFn func(uint64)
+	arg   uint64
+}
+
+// fire runs the event's callback.
+func (e *event) fire() {
+	if e.argFn != nil {
+		e.argFn(e.arg)
+		return
+	}
+	e.fn()
 }
 
 // before is the strict total order (time, then scheduling sequence).
@@ -52,6 +80,15 @@ type Simulation struct {
 	seq     uint64
 	stopped bool
 	events  uint64 // total events executed (diagnostics / benchmarks)
+
+	// Same-instant batch lane: events scheduled at exactly now, drained FIFO
+	// after the heap's events for the same instant (see the package comment
+	// for the ordering argument). ring is a circular buffer.
+	ring     []event
+	ringHead int
+	ringLen  int
+
+	maxPending int // high-watermark of Pending() (diagnostics / pre-sizing)
 }
 
 // New returns an empty simulation at time zero with a default queue capacity.
@@ -81,17 +118,49 @@ func (s *Simulation) At(t time.Duration, fn func()) {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
-	}
-	s.seq++
-	s.queue = append(s.queue, event{at: t, seq: s.seq, fn: fn})
-	s.siftUp(len(s.queue) - 1)
+	s.schedule(event{at: t, fn: fn})
 }
 
 // After schedules fn d after the current virtual time. Negative d panics.
 func (s *Simulation) After(d time.Duration, fn func()) {
 	s.At(s.now+d, fn)
+}
+
+// AtArg schedules fn(arg) at absolute virtual time t. This is the
+// monomorphic form of At for zero-allocation request paths: the callback and
+// its argument are stored inline in the event, so scheduling captures no
+// closure. Pass a function value stored once (e.g. a struct field bound at
+// construction) — writing sv.sim.AtArg(t, sv.method, arg) creates a new
+// method value per call, which allocates.
+func (s *Simulation) AtArg(t time.Duration, fn func(uint64), arg uint64) {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	s.schedule(event{at: t, argFn: fn, arg: arg})
+}
+
+// AfterArg schedules fn(arg) d after the current virtual time.
+func (s *Simulation) AfterArg(d time.Duration, fn func(uint64), arg uint64) {
+	s.AtArg(s.now+d, fn, arg)
+}
+
+// schedule routes an event to the heap (future instants) or the same-instant
+// ring (t == now, the batch lane). Scheduling in the past panics.
+func (s *Simulation) schedule(e event) {
+	if e.at < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", e.at, s.now))
+	}
+	s.seq++
+	e.seq = s.seq
+	if e.at == s.now {
+		s.ringPush(e)
+	} else {
+		s.queue = append(s.queue, e)
+		s.siftUp(len(s.queue) - 1)
+	}
+	if p := len(s.queue) + s.ringLen; p > s.maxPending {
+		s.maxPending = p
+	}
 }
 
 // Every schedules fn after the delay start (relative to now, like After) and
@@ -123,7 +192,7 @@ func (s *Simulation) Stopped() bool { return s.stopped }
 
 // Run executes events until the queue drains or Stop is called.
 func (s *Simulation) Run() {
-	for len(s.queue) > 0 && !s.stopped {
+	for (len(s.queue) > 0 || s.ringLen > 0) && !s.stopped {
 		s.step()
 	}
 }
@@ -131,7 +200,20 @@ func (s *Simulation) Run() {
 // RunUntil executes all events scheduled at or before deadline (unless Stop
 // fires first) and then advances the clock to the deadline.
 func (s *Simulation) RunUntil(deadline time.Duration) {
-	for len(s.queue) > 0 && !s.stopped && s.queue[0].at <= deadline {
+	for !s.stopped {
+		if s.ringLen > 0 && s.now <= deadline {
+			// Ring events are all due at now; run them unless the clock has
+			// already passed the deadline.
+			if len(s.queue) > 0 && s.queue[0].at == s.now {
+				s.step() // heap events at now precede the ring (smaller seq)
+				continue
+			}
+			s.step()
+			continue
+		}
+		if len(s.queue) == 0 || s.queue[0].at > deadline {
+			break
+		}
 		s.step()
 	}
 	if !s.stopped && s.now < deadline {
@@ -140,14 +222,61 @@ func (s *Simulation) RunUntil(deadline time.Duration) {
 }
 
 // Pending reports the number of queued events.
-func (s *Simulation) Pending() int { return len(s.queue) }
+func (s *Simulation) Pending() int { return len(s.queue) + s.ringLen }
 
+// MaxPending reports the high-watermark of Pending over the simulation's
+// lifetime — the measured steady-state queue depth that NewWithCapacity
+// hints should be sized to (the -scale artifact reports it per substrate).
+func (s *Simulation) MaxPending() int { return s.maxPending }
+
+// step pops and fires the next event in (time, seq) order: heap events due
+// at the current instant precede the same-instant ring (their sequence
+// numbers are necessarily smaller — see the package comment), and the ring
+// drains FIFO before the clock may advance to a future heap event.
 func (s *Simulation) step() {
+	if len(s.queue) > 0 && s.queue[0].at == s.now {
+		e := s.queue[0]
+		s.pop()
+		s.events++
+		e.fire()
+		return
+	}
+	if s.ringLen > 0 {
+		e := s.ringPop()
+		s.events++
+		e.fire()
+		return
+	}
 	e := s.queue[0]
 	s.pop()
 	s.now = e.at
 	s.events++
-	e.fn()
+	e.fire()
+}
+
+// ringPush appends to the same-instant FIFO, growing the circular buffer by
+// doubling when full.
+func (s *Simulation) ringPush(e event) {
+	if s.ringLen == len(s.ring) {
+		grown := make([]event, max(4, 2*len(s.ring)))
+		for i := 0; i < s.ringLen; i++ {
+			grown[i] = s.ring[(s.ringHead+i)%len(s.ring)]
+		}
+		s.ring = grown
+		s.ringHead = 0
+	}
+	s.ring[(s.ringHead+s.ringLen)%len(s.ring)] = e
+	s.ringLen++
+}
+
+// ringPop removes the FIFO head in O(1) — the batch-dispatch path: no
+// sifting for same-instant cascades.
+func (s *Simulation) ringPop() event {
+	e := s.ring[s.ringHead]
+	s.ring[s.ringHead] = event{} // release the callbacks for GC
+	s.ringHead = (s.ringHead + 1) % len(s.ring)
+	s.ringLen--
+	return e
 }
 
 // pop removes the minimum event from the heap.

@@ -227,6 +227,219 @@ func TestEventOrderProperty(t *testing.T) {
 	}
 }
 
+// TestAtArgOrderMatchesAt pins the monomorphic form to the closure form:
+// the same schedule driven through AtArg fires in exactly the order the
+// At-only simulation produces.
+func TestAtArgOrderMatchesAt(t *testing.T) {
+	offsets := []int{7, 3, 3, 9, 0, 3, 7, 0}
+
+	runAt := func() []int {
+		s := New()
+		var order []int
+		for i, o := range offsets {
+			i := i
+			s.At(time.Duration(o)*time.Millisecond, func() { order = append(order, i) })
+		}
+		s.Run()
+		return order
+	}
+	runAtArg := func() []int {
+		s := New()
+		var order []int
+		record := func(arg uint64) { order = append(order, int(arg)) }
+		for i, o := range offsets {
+			s.AtArg(time.Duration(o)*time.Millisecond, record, uint64(i))
+		}
+		s.Run()
+		return order
+	}
+
+	at, atArg := runAt(), runAtArg()
+	if len(at) != len(atArg) {
+		t.Fatalf("At fired %d events, AtArg fired %d", len(at), len(atArg))
+	}
+	for i := range at {
+		if at[i] != atArg[i] {
+			t.Fatalf("order diverges at %d: At=%v AtArg=%v", i, at, atArg)
+		}
+	}
+}
+
+// TestSameInstantHeapBeforeRing pins the batch lane's ordering invariant:
+// events already in the heap for instant T (scheduled before T, smaller seq)
+// fire before events scheduled AT instant T (the ring), and ring events keep
+// FIFO order — exactly the (time, seq) total order of a heap-only queue.
+func TestSameInstantHeapBeforeRing(t *testing.T) {
+	s := New()
+	var order []string
+	record := func(tag string) { order = append(order, tag) }
+	const T = time.Second
+	s.At(T, func() {
+		record("heap-a")
+		// Scheduled at now == T: batch lane, must fire after heap-b.
+		s.At(T, func() {
+			record("ring-c")
+			s.After(0, func() { record("ring-e") })
+		})
+	})
+	s.At(T, func() {
+		record("heap-b")
+		s.After(0, func() { record("ring-d") })
+	})
+	s.Run()
+	want := []string{"heap-a", "heap-b", "ring-c", "ring-d", "ring-e"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSameInstantCascadeGrowsRing forces ring growth and wraparound: a
+// cascade where each event schedules the next at the same instant, repeated
+// across instants so the head index wraps.
+func TestSameInstantCascadeGrowsRing(t *testing.T) {
+	s := New()
+	fired := 0
+	var chain func(uint64)
+	chain = func(remaining uint64) {
+		fired++
+		if remaining > 0 {
+			s.AfterArg(0, chain, remaining-1)
+		}
+	}
+	for round := 1; round <= 4; round++ {
+		s.AfterArg(time.Duration(round)*time.Second, chain, 63)
+	}
+	s.Run()
+	if fired != 4*64 {
+		t.Errorf("fired = %d, want %d", fired, 4*64)
+	}
+	if s.Events() != uint64(4*64) {
+		t.Errorf("Events = %d, want %d", s.Events(), 4*64)
+	}
+}
+
+// TestRunUntilDrainsSameInstantAtDeadline: an event at the deadline that
+// schedules another at the same instant must see both fire before the clock
+// parks at the deadline (the pre-ring semantics).
+func TestRunUntilDrainsSameInstantAtDeadline(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(time.Second, func() {
+		fired++
+		s.After(0, func() { fired++ })
+	})
+	s.At(2*time.Second, func() { fired++ })
+	s.RunUntil(time.Second)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (same-instant follow-up within deadline)", fired)
+	}
+	if s.Now() != time.Second {
+		t.Errorf("Now = %v, want 1s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+// TestMaxPendingWatermark: MaxPending records the peak queue depth across
+// both the heap and the same-instant ring, and survives the drain.
+func TestMaxPendingWatermark(t *testing.T) {
+	s := New()
+	noop := func(uint64) {}
+	s.At(time.Second, func() {
+		for i := 0; i < 3; i++ {
+			s.AfterArg(0, noop, 0) // ring occupancy counts toward the peak
+		}
+	})
+	for i := 1; i <= 4; i++ {
+		s.AtArg(time.Duration(i)*time.Second, noop, 0)
+	}
+	s.Run()
+	// Peak: 4 AtArg timers + the At(1s) event = 5 before run; during the 1s
+	// event 3 ring events join while all 4 AtArg timers are still queued = 7.
+	if got := s.MaxPending(); got != 7 {
+		t.Errorf("MaxPending = %d, want 7", got)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after drain, want 0", s.Pending())
+	}
+}
+
+// TestAtArgZeroAllocSteadyState gates the monomorphic schedule→fire cycle:
+// once the queue has its capacity, scheduling and dispatching an AtArg event
+// allocates nothing.
+func TestAtArgZeroAllocSteadyState(t *testing.T) {
+	s := NewWithCapacity(4)
+	var sum uint64
+	fn := func(arg uint64) { sum += arg }
+	at := time.Duration(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		at += time.Millisecond
+		s.AtArg(at, fn, 1)
+		s.Run()
+	}); allocs != 0 {
+		t.Errorf("AtArg schedule+dispatch allocates %.1f/op, want 0", allocs)
+	}
+
+	// Same-instant batch dispatch through the ring, warm.
+	var cascade func(uint64)
+	cascade = func(remaining uint64) {
+		sum++
+		if remaining > 0 {
+			s.AfterArg(0, cascade, remaining-1)
+		}
+	}
+	s.AfterArg(time.Millisecond, cascade, 32)
+	s.Run() // warms the ring buffer
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.AfterArg(time.Millisecond, cascade, 32)
+		s.Run()
+	}); allocs != 0 {
+		t.Errorf("same-instant cascade allocates %.1f/batch, want 0", allocs)
+	}
+}
+
+// Property: mixing At and AtArg over any multiset of schedule times still
+// fires in sorted time order with FIFO ties.
+func TestEventOrderPropertyAtArg(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New()
+		var fired []time.Duration
+		record := func(uint64) { fired = append(fired, s.Now()) }
+		for i, o := range offsets {
+			at := time.Duration(o) * time.Millisecond
+			if i%2 == 0 {
+				s.AtArg(at, record, uint64(i))
+			} else {
+				s.At(at, func() { fired = append(fired, s.Now()) })
+			}
+		}
+		s.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		sorted := make([]time.Duration, len(offsets))
+		for i, o := range offsets {
+			sorted[i] = time.Duration(o) * time.Millisecond
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 // BenchmarkSimSchedule measures the At→Run hot path: one schedule plus one
 // dispatch per iteration against a warm queue. With the value-typed 4-ary
 // heap this is 0 allocs/op (container/heap boxed one *event per At).
@@ -260,5 +473,42 @@ func BenchmarkSimScheduleDeep(b *testing.B) {
 		t += time.Millisecond
 		s.At(t, fn)
 		s.RunUntil(s.queue[0].at)
+	}
+}
+
+// BenchmarkSimScheduleArg is BenchmarkSimSchedule through the monomorphic
+// AtArg form: schedule+dispatch with the callback and argument stored inline
+// in the event, no closure.
+func BenchmarkSimScheduleArg(b *testing.B) {
+	s := NewWithCapacity(1)
+	fn := func(uint64) {}
+	t := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += time.Millisecond
+		s.AtArg(t, fn, uint64(i))
+		s.Run()
+	}
+}
+
+// BenchmarkSimBatchDispatch measures the same-instant batch lane: one timer
+// fans out into a 64-event same-instant cascade popped from the FIFO ring
+// with no sifting. ns/op is per 64-event batch.
+func BenchmarkSimBatchDispatch(b *testing.B) {
+	s := NewWithCapacity(4)
+	var cascade func(uint64)
+	cascade = func(remaining uint64) {
+		if remaining > 0 {
+			s.AfterArg(0, cascade, remaining-1)
+		}
+	}
+	t := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += time.Millisecond
+		s.AtArg(t, cascade, 63)
+		s.Run()
 	}
 }

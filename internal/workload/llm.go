@@ -29,8 +29,12 @@ type LLMPhase struct {
 	Name string
 	// Duration of the phase; the last phase may be 0 (runs to experiment end).
 	Duration time.Duration
-	// RequestsPerSec is the offered load (Poisson arrivals).
+	// RequestsPerSec is the offered load; Arrival selects the interarrival
+	// distribution (zero value: Poisson) and ArrivalShape its shape
+	// parameter (Gamma/Weibull k; ≤ 0 means 1, the exponential).
 	RequestsPerSec float64
+	Arrival        ArrivalDist
+	ArrivalShape   float64
 	// PromptMean / OutputMean are the mean token counts; individual draws are
 	// lognormal around the mean with the given sigma (0 = a default of 0.5,
 	// roughly the spread of production chat traces).
@@ -74,17 +78,10 @@ func (g *LLMGen) Phase() LLMPhase { return g.phase }
 // SetPhase switches the generator to a new phase (workload shift).
 func (g *LLMGen) SetPhase(p LLMPhase) { g.phase = p }
 
-// NextInterarrival draws the exponential gap to the next request.
+// NextInterarrival draws the gap to the next request from the phase's
+// arrival distribution (Poisson by default).
 func (g *LLMGen) NextInterarrival() time.Duration {
-	if g.phase.RequestsPerSec <= 0 {
-		return time.Hour // effectively idle
-	}
-	gap := g.rng.ExpFloat64() / g.phase.RequestsPerSec
-	const maxGap = 3600.0
-	if gap > maxGap {
-		gap = maxGap
-	}
-	return time.Duration(gap * float64(time.Second))
+	return interarrival(g.rng, g.phase.Arrival, g.phase.ArrivalShape, g.phase.RequestsPerSec)
 }
 
 // NextRequest draws the next request's token counts.

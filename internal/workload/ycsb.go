@@ -43,8 +43,12 @@ type YCSBPhase struct {
 	// CacheRatio is the target read-cache heap fraction (CA6059's "Cz"
 	// disturbance: cache growth squeezes the memtable's headroom).
 	CacheRatio float64
-	// OpsPerSec is the offered load (Poisson arrivals).
-	OpsPerSec float64
+	// OpsPerSec is the offered load; Arrival selects the interarrival
+	// distribution (zero value: Poisson) and ArrivalShape its shape
+	// parameter (Gamma/Weibull k; ≤ 0 means 1, the exponential).
+	OpsPerSec    float64
+	Arrival      ArrivalDist
+	ArrivalShape float64
 }
 
 func (p YCSBPhase) String() string {
@@ -79,17 +83,10 @@ func (y *YCSB) Phase() YCSBPhase { return y.phase }
 // SetPhase switches the generator to a new phase (workload shift).
 func (y *YCSB) SetPhase(p YCSBPhase) { y.phase = p }
 
-// NextInterarrival draws the exponential gap to the next operation.
+// NextInterarrival draws the gap to the next operation from the phase's
+// arrival distribution (Poisson by default).
 func (y *YCSB) NextInterarrival() time.Duration {
-	if y.phase.OpsPerSec <= 0 {
-		return time.Hour // effectively idle
-	}
-	gap := y.rng.ExpFloat64() / y.phase.OpsPerSec
-	const maxGap = 3600.0
-	if gap > maxGap {
-		gap = maxGap
-	}
-	return time.Duration(gap * float64(time.Second))
+	return interarrival(y.rng, y.phase.Arrival, y.phase.ArrivalShape, y.phase.OpsPerSec)
 }
 
 // NextOp draws the next operation.
