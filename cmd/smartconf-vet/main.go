@@ -1,12 +1,13 @@
 // Command smartconf-vet runs the smartconf static-analysis suite
-// (internal/lint): determinism, cachekey, floatcmp and guardedby — the
-// machine-checked invariants behind the harness's byte-identical-output
-// guarantee.
+// (internal/lint): determinism, cachekey, floatcmp, guardedby, hotalloc,
+// confbounds and seedflow — the machine-checked invariants behind the
+// harness's byte-identical-output and zero-allocation guarantees.
 //
 // Standalone (from the module root):
 //
 //	smartconf-vet ./...
 //	smartconf-vet -run determinism,floatcmp ./internal/...
+//	smartconf-vet -allows ./...
 //
 // As a go vet tool (the binary speaks the vet unitchecker protocol):
 //
@@ -18,7 +19,14 @@
 //
 //	//smartconf:allow <analyzer> -- <reason>
 //
-// on the offending line or the line above (the reason is mandatory).
+// on the offending line or the line above (the reason is mandatory; a
+// suppression without one is inert). -allows audits the escape hatch: it
+// lists every suppression comment with its analyzers, justification and
+// position, and exits 2 if any suppression lacks a reason.
+//
+// Under GitHub Actions (GITHUB_ACTIONS=true) findings are additionally
+// emitted as ::error workflow commands so they surface as inline PR
+// annotations.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"smartconf/internal/lint"
@@ -57,6 +66,7 @@ func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON (unitchecker mode)")
+	allowsFlag := flag.Bool("allows", false, "audit //smartconf:allow suppressions instead of running analyzers")
 	flag.Parse()
 
 	analyzers, err := selectAnalyzers(*runFlag)
@@ -69,6 +79,9 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *allowsFlag {
+		os.Exit(runAllows(flag.Args()))
 	}
 
 	args := flag.Args()
@@ -114,6 +127,7 @@ func runStandalone(patterns []string, analyzers []*lint.Analyzer) int {
 		}
 		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d)
+			emitGitHubAnnotation(d.Pos, d.Analyzer+": "+d.Message)
 			found++
 		}
 	}
@@ -122,6 +136,60 @@ func runStandalone(patterns []string, analyzers []*lint.Analyzer) int {
 		return 2
 	}
 	return 0
+}
+
+// runAllows audits every //smartconf:allow suppression in the matched
+// packages: each is listed with its analyzers, position and justification,
+// and suppressions missing the mandatory ` -- <reason>` tail fail the audit
+// (they are inert at analysis time, so leaving one in place means the
+// finding it meant to cover is either absent or un-suppressed).
+func runAllows(patterns []string) int {
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	total, missing := 0, 0
+	for _, pkg := range pkgs {
+		for _, s := range lint.CollectAllowSites(pkg) {
+			total++
+			names := strings.Join(s.Analyzers, ",")
+			if s.Reason == "" {
+				missing++
+				msg := fmt.Sprintf("allow %s has no reason (` -- <reason>` is mandatory; this suppression is inert)", names)
+				fmt.Fprintf(os.Stderr, "%s:%d: %s\n", s.Pos.Filename, s.Pos.Line, msg)
+				emitGitHubAnnotation(s.Pos, msg)
+				continue
+			}
+			fmt.Printf("%s:%d: %s -- %s\n", s.Pos.Filename, s.Pos.Line, names, s.Reason)
+		}
+	}
+	fmt.Printf("smartconf-vet: %d suppression(s)", total)
+	if missing > 0 {
+		fmt.Printf(", %d without a reason", missing)
+	}
+	fmt.Println()
+	if missing > 0 {
+		return 2
+	}
+	return 0
+}
+
+// emitGitHubAnnotation prints a ::error workflow command when running under
+// GitHub Actions, so findings become inline annotations on the PR diff. The
+// file path is made repo-relative (workflow commands resolve against the
+// workspace root); positions outside the working tree are emitted as-is.
+func emitGitHubAnnotation(pos token.Position, msg string) {
+	if os.Getenv("GITHUB_ACTIONS") != "true" {
+		return
+	}
+	file := pos.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	fmt.Printf("::error file=%s,line=%d,col=%d::%s\n", file, pos.Line, pos.Column, msg)
 }
 
 // vetConfig is the package description `go vet` writes for each unit of
@@ -212,6 +280,7 @@ func runUnitchecker(cfgPath string, analyzers []*lint.Analyzer, asJSON bool) int
 	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
+		emitGitHubAnnotation(d.Pos, d.Analyzer+": "+d.Message)
 	}
 	if len(diags) > 0 {
 		return 2

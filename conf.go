@@ -103,7 +103,7 @@ type Conf struct {
 
 	pending    float64 // guardedby: mu — latest measurement, consumed by Conf()
 	hasPending bool    // guardedby: mu
-	lastValue  float64 // guardedby: mu
+	lastValue  float64 // guardedby: mu — clampedby: sanitizeKnob
 
 	alert          AlertFunc
 	alertThreshold int
@@ -139,11 +139,25 @@ func New(spec Spec, profile *Profile, opts ...Option) (*Conf, error) {
 	return c, nil
 }
 
+// sanitizeKnob is the last line of defense on the one field every knob read
+// serves: a non-finite candidate — a user Transducer returning NaN/Inf, a
+// profiling pin gone wrong — keeps the previous value instead of poisoning
+// the knob. The controller core clamps its own outputs (see core's
+// `clampedby: clamp` field); this guards the paths that bypass the core.
+// Every lastValue write must flow through it (enforced by the confbounds
+// analyzer via the field's `clampedby:` annotation).
+func sanitizeKnob(prev, v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return prev
+	}
+	return v
+}
+
 func newConf(spec Spec, ctrl *core.Controller, o options) *Conf {
 	c := &Conf{
 		name:           spec.Name,
 		ctrl:           ctrl,
-		lastValue:      ctrl.Conf(),
+		lastValue:      sanitizeKnob(0, ctrl.Conf()),
 		alert:          o.alert,
 		alertThreshold: o.alertThreshold,
 		trace:          o.trace,
@@ -156,7 +170,7 @@ func newConf(spec Spec, ctrl *core.Controller, o options) *Conf {
 func newProfilingConf(spec Spec, o options) *Conf {
 	return &Conf{
 		name:           spec.Name,
-		lastValue:      spec.Initial,
+		lastValue:      sanitizeKnob(0, spec.Initial),
 		alert:          o.alert,
 		alertThreshold: o.alertThreshold,
 		profiling:      true,
@@ -203,7 +217,7 @@ func (c *Conf) valueLocked() float64 {
 	if !c.hasPending {
 		return c.lastValue
 	}
-	c.lastValue = c.ctrl.Update(c.pending)
+	c.lastValue = sanitizeKnob(c.lastValue, c.ctrl.Update(c.pending))
 	c.hasPending = false
 	c.maybeAlertLocked()
 	c.emitTraceLocked(0)
@@ -301,7 +315,7 @@ func (c *Conf) PinValue(v float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.profiling {
-		c.lastValue = v
+		c.lastValue = sanitizeKnob(c.lastValue, v)
 	}
 }
 

@@ -110,7 +110,10 @@ func (ic *IndirectConf) Value() float64 {
 	c.ctrl.SetConf(ic.pendingDeputy)
 	desired := c.ctrl.Update(c.pending)
 	c.hasPending = false
-	c.lastValue = ic.transducer.Transduce(desired)
+	// The transducer is user code and its output goes straight into the live
+	// threshold, outside the controller's clamp — sanitize it so a NaN/Inf
+	// transduction holds the previous setting instead of poisoning the knob.
+	c.lastValue = sanitizeKnob(c.lastValue, ic.transducer.Transduce(desired))
 	c.maybeAlertLocked()
 	c.emitTraceLocked(ic.pendingDeputy)
 	return c.lastValue

@@ -29,16 +29,17 @@ var wholeRun = []struct {
 	key       string
 	substrate string
 	// strict substrates must allocate zero heap objects across a whole
-	// steady-state window. dfs is exempt (du traversal chunks schedule
-	// closures a few times per million requests) and mapred is exempt
-	// (per-task chunk closures; jobs are the pooling unit there).
+	// steady-state window. dfs is the one exemption left: du traversal
+	// chunks schedule closures a few times per million requests. mapred
+	// joined the strict set once its per-task chunk closures moved to
+	// slot-table AtArg handlers (tasks are the pooling unit now).
 	strict bool
 }{
 	{"smartconf/internal/experiments.ScaleRun/rpc", "rpc", true},
 	{"smartconf/internal/experiments.ScaleRun/llm", "llm", true},
 	{"smartconf/internal/experiments.ScaleRun/kv", "kv", true},
 	{"smartconf/internal/experiments.ScaleRun/dfs", "dfs", false},
-	{"smartconf/internal/experiments.ScaleRun/mapred", "mapred", false},
+	{"smartconf/internal/experiments.ScaleRun/mapred", "mapred", true},
 }
 
 func TestWholeRunVsBaseline(t *testing.T) {

@@ -51,10 +51,13 @@ type Loop struct {
 	restarts int
 }
 
-// NewLoop returns a Loop with no faults armed. Arming a Plan replaces the
-// default random source with the plan-seeded one.
+// NewLoop returns a Loop with no faults armed. The loop carries no random
+// source of its own: Plan.Arm installs the plan-seeded one, and an unarmed
+// loop never draws (every randomized fault knob is set only by armed plans).
+// A zero-seeded default here would be indistinguishable from a forgotten
+// plumbing line — exactly what the seedflow analyzer exists to catch.
 func NewLoop(s *sim.Simulation, cfg LoopConfig) *Loop {
-	return &Loop{sim: s, cfg: cfg, rng: rand.New(rand.NewSource(0))}
+	return &Loop{sim: s, cfg: cfg}
 }
 
 // Tick runs one control iteration through whatever faults are active.

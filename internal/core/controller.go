@@ -68,7 +68,7 @@ type Controller struct {
 	min, max    float64
 	interaction float64
 
-	conf      float64 // current (continuous) configuration value
+	conf      float64 // current (continuous) configuration value — clampedby: clamp
 	adaptive  *AdaptiveModel
 	lastErr   float64
 	lastPole  float64

@@ -133,6 +133,8 @@ func (nn *NameNode) DusDone() int64 { return nn.dusDone.Value() }
 
 // Write creates one file. If the du traversal holds the lock, the write
 // waits for the next release.
+//
+//smartconf:hotpath
 func (nn *NameNode) Write() {
 	if nn.lockHeld {
 		nn.pendingWrites = append(nn.pendingWrites, nn.sim.Now())

@@ -216,7 +216,8 @@ func runDistributedHB3813(nodes int) DistributedResult {
 			ic.SetPerf(float64(heap.Used()), float64(sv.QueueLen()))
 			sv.SetMaxQueue(ic.Conf())
 		}
-		heapNoise(s, heap, rand.New(rand.NewSource(int64(100+i))), rpcNoiseMax, 400*time.Second)
+		noiseSeed := int64(100 + i) // per-node scenario seed, offset by node index
+		heapNoise(s, heap, rand.New(rand.NewSource(noiseSeed)), rpcNoiseMax, 400*time.Second)
 	}
 
 	// Skewed dispatch: node 0 receives ~half the traffic, the rest split the

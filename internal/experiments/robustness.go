@@ -67,7 +67,10 @@ func RunRobustnessSweep() []RobustnessCell {
 
 func runRobustnessCell(profile *smartconf.Profile, cell RobustnessCell) RobustnessCell {
 	s := newScenarioSim()
-	rng := rand.New(rand.NewSource(int64(cell.BurstSize)*1000 + int64(cell.BurstEverySec*10)))
+	// The cell spec is the scenario description, so the seed derives from it:
+	// every (BurstSize, BurstEverySec) cell replays its own fixed stream.
+	cellSeed := int64(cell.BurstSize)*1000 + int64(cell.BurstEverySec*10)
+	rng := rand.New(rand.NewSource(cellSeed))
 	heap := memsim.NewHeap(rpcHeapCapacity)
 	sv := rpcserver.New(s, heap, rpcConfig())
 	sv.SetMaxQueue(0)

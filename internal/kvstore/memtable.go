@@ -157,6 +157,8 @@ type pendingWrite struct {
 // once the total reaches the threshold itself. The threshold therefore
 // really caps memtable memory, which is what lets a controller bound the
 // heap through it.
+//
+//smartconf:hotpath
 func (st *MemtableStore) Write(bytes int64) bool {
 	if st.crashed {
 		return false
@@ -232,6 +234,8 @@ func (st *MemtableStore) maybeFlush() {
 
 // flushDone retires a flush. MemtableStore has no fleet Kill, so the event
 // argument is unused.
+//
+//smartconf:hotpath
 func (st *MemtableStore) flushDone(uint64) {
 	if st.crashed {
 		return

@@ -1,0 +1,446 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BoundSpecTypes are the qualified names (pkgpath.TypeName) of the bound-
+// carrying option structs a configuration is constructed from. Tests
+// override this to point at testdata.
+var BoundSpecTypes = []string{
+	"smartconf.Spec",
+	"smartconf/internal/core.Options",
+}
+
+// ConfConstructors are the qualified names of the functions that turn a
+// bound-spec value into a live configuration or controller. Only literals
+// that flow into one of these are checked — a zero Spec{} on an error-return
+// path never reaches a controller and stays silent.
+var ConfConstructors = []string{
+	"smartconf.New",
+	"smartconf.NewIndirect",
+	"smartconf/internal/core.Synthesize",
+	"smartconf/internal/core.NewController",
+}
+
+// clampedByMarker annotates a knob-holding struct field with the name of the
+// one function every written value must flow through, e.g.
+//
+//	conf float64 // clampedby: clamp
+//
+// It composes with guardedby on the same line (`// guardedby: mu —
+// clampedby: setLastValueLocked`); each marker takes the first word after
+// itself.
+const clampedByMarker = "clampedby:"
+
+// ConfBoundsAnalyzer structurally enforces the NaN-knob hardening from the
+// PR 4 line of work: every configuration construction must state a finite,
+// non-zero Max bound (Max 0 means unbounded — if unbounded is really meant,
+// say so with a suppression and a reason), and fields annotated
+// `clampedby: fn` may only be written with values routed through fn, so no
+// code path can slip an unclamped or non-finite value into a live knob.
+var ConfBoundsAnalyzer = &Analyzer{
+	Name: "confbounds",
+	Doc: "configuration constructions must supply finite non-zero Max bounds, " +
+		"and fields annotated `clampedby: fn` may only be assigned through fn",
+	Run: runConfBounds,
+}
+
+func runConfBounds(pass *Pass) error {
+	checkConstructorBounds(pass)
+	checkClampedFields(pass)
+	return nil
+}
+
+// ---- rule A: bounds at construction ----
+
+func checkConstructorBounds(pass *Pass) {
+	for _, file := range pass.Files {
+		var fd *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fd = n
+			case *ast.CallExpr:
+				if isConfConstructor(pass, n) {
+					for _, arg := range n.Args {
+						checkBoundArg(pass, fd, arg)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isConfConstructor(pass *Pass, call *ast.CallExpr) bool {
+	fn, ok := calleeObj(pass.Info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	qualified := fn.Pkg().Path() + "." + fn.Name()
+	for _, c := range ConfConstructors {
+		if qualified == c {
+			return true
+		}
+	}
+	return false
+}
+
+func isBoundSpecType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	qualified := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	for _, s := range BoundSpecTypes {
+		if qualified == s {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBoundArg resolves a constructor argument of a bound-spec type to its
+// composite literal (directly, or through a single local definition) and
+// checks the Min/Max entries. Values built dynamically — by a helper
+// function, from parsed bindings — cannot be checked statically and pass.
+func checkBoundArg(pass *Pass, fd *ast.FuncDecl, arg ast.Expr) {
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Type == nil || !isBoundSpecType(tv.Type) {
+		return
+	}
+	lit := specLiteral(pass, fd, arg)
+	if lit == nil {
+		return
+	}
+	min, max := boundEntry(pass, lit, "Min"), boundEntry(pass, lit, "Max")
+	if max == nil {
+		pass.Reportf(lit.Pos(),
+			"%s constructed without a Max bound (zero value means unbounded); state a finite Max, or suppress with the reason the knob is intentionally unbounded", tv.Type)
+	} else {
+		checkBoundExpr(pass, max, "Max")
+	}
+	if min != nil {
+		checkBoundExpr(pass, min, "Min")
+	}
+}
+
+// specLiteral unwraps arg to a composite literal: the expression itself, a
+// unary &lit, or an identifier defined exactly once from a literal in the
+// enclosing function.
+func specLiteral(pass *Pass, fd *ast.FuncDecl, arg ast.Expr) *ast.CompositeLit {
+	switch a := arg.(type) {
+	case *ast.CompositeLit:
+		return a
+	case *ast.UnaryExpr:
+		if a.Op == token.AND {
+			if lit, ok := a.X.(*ast.CompositeLit); ok {
+				return lit
+			}
+		}
+	case *ast.Ident:
+		if fd == nil {
+			return nil
+		}
+		obj, ok := pass.Info.Uses[a].(*types.Var)
+		if !ok {
+			return nil
+		}
+		if init := localInit(pass, fd, obj); init != nil {
+			if lit, ok := init.(*ast.CompositeLit); ok {
+				return lit
+			}
+		}
+	}
+	return nil
+}
+
+// boundEntry finds the value of the named field in a (keyed or positional)
+// struct literal.
+func boundEntry(pass *Pass, lit *ast.CompositeLit, field string) ast.Expr {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return nil
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == field {
+				return kv.Value
+			}
+			continue
+		}
+		if i < st.NumFields() && st.Field(i).Name() == field {
+			return elt
+		}
+	}
+	return nil
+}
+
+// checkBoundExpr validates one bound value: a constant zero Max is
+// unbounded, and math.Inf/math.NaN make the bound meaningless. Non-constant
+// expressions (profile-derived caps, parsed bindings) pass.
+func checkBoundExpr(pass *Pass, e ast.Expr, field string) {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if path, name := pkgFunc(pass.Info, call); path == "math" && (name == "Inf" || name == "NaN") {
+			pass.Reportf(e.Pos(),
+				"%s bound built from math.%s is not a finite bound; the controller cannot clamp against it", field, name)
+			return
+		}
+	}
+	if field == "Max" && isExactZero(pass, e) {
+		pass.Reportf(e.Pos(),
+			"Max bound of constant zero means unbounded; state a finite Max, or suppress with the reason the knob is intentionally unbounded")
+	}
+}
+
+// ---- rule B: clampedby field writes ----
+
+// clampSpec maps annotated field names to their clamping function, per
+// struct type.
+type clampSpec map[string]string
+
+func runClampSpecs(pass *Pass) map[*types.TypeName]clampSpec {
+	specs := map[*types.TypeName]clampSpec{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				fn := markerAnnotation(field, clampedByMarker)
+				if fn == "" {
+					continue
+				}
+				spec := specs[obj]
+				if spec == nil {
+					spec = clampSpec{}
+					specs[obj] = spec
+				}
+				for _, name := range field.Names {
+					spec[name.Name] = fn
+				}
+			}
+			return true
+		})
+	}
+	return specs
+}
+
+// markerAnnotation extracts the first word after marker in a field's doc or
+// trailing comment ("" when unannotated). Shared with guardedby's parser so
+// `// guardedby: mu — clampedby: fn` serves both analyzers.
+func markerAnnotation(field *ast.Field, marker string) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimLeft(c.Text, "/* "))
+			if i := strings.Index(text, marker); i >= 0 {
+				if f := strings.Fields(text[i+len(marker):]); len(f) > 0 {
+					return f[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func checkClampedFields(pass *Pass) {
+	specs := runClampSpecs(pass)
+	if len(specs) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		var fd *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fd = n
+			case *ast.AssignStmt:
+				checkClampedAssign(pass, specs, fd, n)
+			case *ast.IncDecStmt:
+				if field, clamp := clampedTarget(pass, specs, n.X); field != "" {
+					pass.Reportf(n.Pos(),
+						"%s of field %s bypasses %s; annotated `clampedby: %s` fields change only through it", n.Tok, field, clamp, clamp)
+				}
+			case *ast.CompositeLit:
+				checkClampedLiteral(pass, specs, fd, n)
+			}
+			return true
+		})
+	}
+}
+
+// clampedTarget resolves an assignment target to (field name, clamp func)
+// when the target is a selector of a clampedby-annotated field.
+func clampedTarget(pass *Pass, specs map[*types.TypeName]clampSpec, e ast.Expr) (string, string) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", ""
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	spec := specs[named.Obj()]
+	if spec == nil {
+		return "", ""
+	}
+	if clamp, ok := spec[sel.Sel.Name]; ok {
+		return sel.Sel.Name, clamp
+	}
+	return "", ""
+}
+
+func checkClampedAssign(pass *Pass, specs map[*types.TypeName]clampSpec, fd *ast.FuncDecl, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		field, clamp := clampedTarget(pass, specs, lhs)
+		if field == "" {
+			continue
+		}
+		if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+			pass.Reportf(as.Pos(),
+				"compound assignment to field %s bypasses %s; annotated `clampedby: %s` fields change only through it", field, clamp, clamp)
+			continue
+		}
+		if i < len(as.Rhs) && !flowsThrough(pass, fd, as.Rhs[i], clamp) {
+			pass.Reportf(as.Pos(),
+				"write to field %s does not flow through %s; annotated `clampedby: %s` fields take only %s(...) results", field, clamp, clamp, clamp)
+		}
+	}
+}
+
+func checkClampedLiteral(pass *Pass, specs map[*types.TypeName]clampSpec, fd *ast.FuncDecl, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	spec := specs[named.Obj()]
+	if spec == nil {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var field string
+		var value ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				field, value = key.Name, kv.Value
+			}
+		} else if i < st.NumFields() {
+			field, value = st.Field(i).Name(), elt
+		}
+		clamp, annotated := spec[field]
+		if !annotated || value == nil {
+			continue
+		}
+		if isExactZero(pass, value) {
+			continue // zero value: the field starts unset, not unclamped
+		}
+		if !flowsThrough(pass, fd, value, clamp) {
+			pass.Reportf(value.Pos(),
+				"field %s initialized without flowing through %s; annotated `clampedby: %s` fields take only %s(...) results", field, clamp, clamp, clamp)
+		}
+	}
+}
+
+// flowsThrough reports whether e is a call to the named clamp function, or
+// an identifier defined exactly once in fd from such a call.
+func flowsThrough(pass *Pass, fd *ast.FuncDecl, e ast.Expr, clamp string) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if obj := calleeObj(pass.Info, e); obj != nil && obj.Name() == clamp {
+			return true
+		}
+	case *ast.Ident:
+		if fd == nil {
+			return false
+		}
+		obj, ok := pass.Info.Uses[e].(*types.Var)
+		if !ok {
+			return false
+		}
+		if init := localInit(pass, fd, obj); init != nil {
+			if call, ok := init.(*ast.CallExpr); ok {
+				if co := calleeObj(pass.Info, call); co != nil && co.Name() == clamp {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// localInit returns the expression obj is assigned from, when fd assigns it
+// exactly once (definition or plain assignment); nil otherwise.
+func localInit(pass *Pass, fd *ast.FuncDecl, obj *types.Var) ast.Expr {
+	var init ast.Expr
+	count := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.Info.Defs[name] == obj && i < len(n.Values) {
+					init = n.Values[i]
+					count++
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if pass.Info.Defs[id] == obj || pass.Info.Uses[id] == obj {
+					init = n.Rhs[i]
+					count++
+				}
+			}
+		}
+		return true
+	})
+	if count != 1 {
+		return nil
+	}
+	return init
+}

@@ -95,23 +95,10 @@ func collectGuardSpecs(pass *Pass) map[*types.TypeName]*guardSpec {
 }
 
 // guardAnnotation extracts the mutex name from a field's doc or trailing
-// comment ("" when unannotated).
+// comment ("" when unannotated). It shares markerAnnotation with confbounds,
+// so `// guardedby: mu — clampedby: fn` serves both analyzers.
 func guardAnnotation(field *ast.Field) string {
-	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
-		if cg == nil {
-			continue
-		}
-		for _, c := range cg.List {
-			text := strings.TrimSpace(strings.TrimLeft(c.Text, "/* "))
-			if i := strings.Index(text, guardedByMarker); i >= 0 {
-				name := strings.TrimSpace(text[i+len(guardedByMarker):])
-				if f := strings.Fields(name); len(f) > 0 {
-					return f[0]
-				}
-			}
-		}
-	}
-	return ""
+	return markerAnnotation(field, guardedByMarker)
 }
 
 // lockTracker is the per-method linear lock-state machine.

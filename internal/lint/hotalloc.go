@@ -1,0 +1,380 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotPathMarker roots the hotalloc reachability walk. Placed in a function's
+// doc comment (directive style, no space after //), it declares the function
+// a request-path entry point whose whole same-package call graph must not
+// allocate in steady state — the static complement of the whole-run
+// AllocsPerRun gates in internal/benchgate.
+const hotPathMarker = "//smartconf:hotpath"
+
+// HotAllocAnalyzer is an interprocedural allocation analyzer: starting from
+// every function annotated `//smartconf:hotpath`, it walks same-package
+// static calls and flags the allocation shapes that broke the zero-alloc
+// request paths before PR 7 pooled them:
+//
+//   - function literals capturing outer variables (one closure per call);
+//   - method values evaluated outside call position (each evaluation binds
+//     the receiver — bind once into a struct field at construction);
+//   - make/new, &composite, slice and map literals, string concatenation
+//     and string<->[]byte conversions;
+//   - boxing a non-pointer concrete value into an interface parameter;
+//   - any fmt call (variadic boxing plus formatting buffers);
+//   - append to a slice born nil in the same function (growth cannot
+//     amortize against a buffer owned by the struct).
+//
+// Known false-negative edges (deliberate, documented in DESIGN.md §5c):
+// cross-package calls are not followed (the callee package is analyzed
+// against its own roots), dynamic calls through stored func fields are not
+// followed (annotate the handler itself), and interface boxing is only
+// checked at call arguments, not at assignments or returns.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbids allocation in code reachable from //smartconf:hotpath roots: " +
+		"capturing closures, per-call method values, make/new/composite literals, " +
+		"interface boxing, fmt calls, and appends to function-local slices",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if hasHotPathMarker(fd) {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Breadth-first over same-package static calls and function-value
+	// references, remembering which root first reached each function so the
+	// diagnostic can name the hot path.
+	rootOf := map[*types.Func]string{}
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, seen := rootOf[r]; seen {
+			continue
+		}
+		rootOf[r] = r.Name()
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := decls[fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, seen := rootOf[callee]; seen {
+				return true
+			}
+			if _, hasDecl := decls[callee]; !hasDecl {
+				return true
+			}
+			rootOf[callee] = rootOf[fn]
+			queue = append(queue, callee)
+			return true
+		})
+	}
+
+	for fn, root := range rootOf {
+		checkHotFunc(pass, decls[fn], root)
+	}
+	return nil
+}
+
+// hasHotPathMarker reports whether the declaration's doc comment carries the
+// //smartconf:hotpath directive.
+func hasHotPathMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotPathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc scans one reachable function body for allocation shapes.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, root string) {
+	// Selector nodes in call position are calls, not method values.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[call.Fun] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkClosureCapture(pass, fd, n, root)
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n, root)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(),
+						"&composite literal allocates per evaluation (hot path via %s); reuse a slot owned by the struct", root)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(n.Pos(),
+						"slice literal allocates per evaluation (hot path via %s); preallocate at construction", root)
+				case *types.Map:
+					pass.Reportf(n.Pos(),
+						"map literal allocates per evaluation (hot path via %s); preallocate at construction", root)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.Info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+					pass.Reportf(n.Pos(),
+						"string concatenation allocates (hot path via %s); keep hot-path data numeric", root)
+				}
+			}
+		case *ast.SelectorExpr:
+			if callFuns[n] {
+				return true
+			}
+			if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				pass.Reportf(n.Pos(),
+					"method value %s allocates per evaluation (hot path via %s); bind it once into a struct field at construction", n.Sel.Name, root)
+			}
+		}
+		return true
+	})
+}
+
+// checkClosureCapture flags a function literal that captures variables from
+// its enclosing function — each evaluation allocates the closure (and often
+// moves the captured variables to the heap).
+func checkClosureCapture(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit, root string) {
+	var captured []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		// Captured = declared inside the enclosing function but outside the
+		// literal. Package-level variables are shared, not captured.
+		if obj.Pos() >= fd.Pos() && obj.Pos() < fd.End() &&
+			!(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			seen[obj] = true
+			captured = append(captured, obj.Name())
+		}
+		return true
+	})
+	if len(captured) == 0 {
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"func literal captures %s: allocates a closure per evaluation (hot path via %s); bind a method value once and schedule with AtArg/AfterArg", strings.Join(captured, ", "), root)
+}
+
+// checkHotCall handles the call-shaped findings: conversions, fmt calls,
+// builtin make/new/append, and interface boxing at argument positions.
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, root string) {
+	// Type conversions: string<->[]byte copies; everything else is free.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			to, from := tv.Type, exprType(pass, call.Args[0])
+			if (isString(to) && !isString(from)) || (!isString(to) && isString(from)) {
+				if atv, ok := pass.Info.Types[call.Args[0]]; !ok || atv.Value == nil {
+					pass.Reportf(call.Pos(),
+						"string conversion copies its operand (hot path via %s)", root)
+				}
+			}
+		}
+		return
+	}
+
+	if path, name := pkgFunc(pass.Info, call); path == "fmt" {
+		pass.Reportf(call.Pos(),
+			"fmt.%s allocates (variadic boxing + formatting) on a hot path (via %s); record raw values and format off the hot path", name, root)
+		return
+	}
+
+	if obj := calleeObj(pass.Info, call); obj != nil && obj.Pkg() == nil {
+		switch obj.Name() {
+		case "make":
+			pass.Reportf(call.Pos(),
+				"make allocates per evaluation (hot path via %s); preallocate at construction or refill from a free list", root)
+			return
+		case "new":
+			pass.Reportf(call.Pos(),
+				"new allocates per evaluation (hot path via %s); reuse a slot owned by the struct", root)
+			return
+		case "append":
+			checkHotAppend(pass, fd, call, root)
+			return
+		case "panic":
+			return // terminal path: allocation at panic time is irrelevant
+		}
+	}
+
+	checkInterfaceBoxing(pass, call, root)
+}
+
+// checkHotAppend flags append whose destination is a slice born nil (or as
+// an empty literal) in the enclosing function: every growth allocates and
+// nothing amortizes it. Appends to struct fields, pooled buffers obtained
+// from calls or indexing, and reslices (buf[:0]) are the sanctioned reuse
+// patterns and stay silent.
+func checkHotAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, root string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, _ := pass.Info.Uses[id].(*types.Var)
+	if obj == nil || obj.Pos() < fd.Pos() || obj.Pos() >= fd.End() {
+		return // not function-local
+	}
+	if !bornNil(pass, fd, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"append to %s grows a slice born nil in this function (hot path via %s); reuse a buffer owned by the struct", obj.Name(), root)
+}
+
+// bornNil reports whether the local slice variable has no initializing
+// expression (var s []T) or is initialized from an empty literal. A variable
+// initialized from a call, field, or index expression is assumed pooled.
+func bornNil(pass *Pass, fd *ast.FuncDecl, obj *types.Var) bool {
+	verdict := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.Info.Defs[name] != obj {
+					continue
+				}
+				if len(n.Values) == 0 {
+					verdict = true
+				} else if i < len(n.Values) {
+					verdict = emptySliceExpr(n.Values[i])
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || pass.Info.Defs[lid] != obj || i >= len(n.Rhs) {
+					continue
+				}
+				verdict = emptySliceExpr(n.Rhs[i])
+			}
+		}
+		return true
+	})
+	return verdict
+}
+
+func emptySliceExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.Ident:
+		return e.Name == "nil"
+	}
+	return false
+}
+
+// checkInterfaceBoxing flags non-pointer, non-constant concrete values
+// passed to interface parameters: the conversion heap-allocates the boxed
+// copy. Pointer-shaped values (pointers, maps, channels, funcs) convert
+// without allocating, and constants box to static data.
+func checkInterfaceBoxing(pass *Pass, call *ast.CallExpr, root string) {
+	ftv, ok := pass.Info.Types[call.Fun]
+	if !ok || ftv.Type == nil {
+		return
+	}
+	sig, ok := ftv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	if call.Ellipsis != token.NoPos {
+		return // a spread slice is passed as-is
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := pass.Info.Types[arg]
+		if !ok || atv.Value != nil || atv.IsNil() || atv.Type == nil {
+			continue
+		}
+		if !boxingAllocates(atv.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"passing %s to an interface parameter boxes it on the heap (hot path via %s); keep hot-path signatures concrete", atv.Type, root)
+	}
+}
+
+// boxingAllocates reports whether converting a value of type t to an
+// interface requires a heap allocation.
+func boxingAllocates(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -15,6 +15,15 @@
 //     tolerances.
 //   - guardedby: struct fields annotated `// guardedby: mu` may only be
 //     accessed while the named mutex is held in the enclosing method.
+//   - hotalloc: code reachable from `//smartconf:hotpath`-annotated request
+//     paths must not allocate — no capturing closures, per-call method
+//     values, make/new/composite literals, interface boxing, or fmt calls —
+//     the static complement of the whole-run AllocsPerRun benchgates.
+//   - confbounds: configuration constructions must state finite non-zero
+//     Max bounds, and knob fields annotated `clampedby: fn` change only
+//     through fn.
+//   - seedflow: rand.NewSource seeds in simulation-reachable packages must
+//     derive from a seed parameter/field or a non-zero constant.
 //
 // The framework is a deliberately small stand-in for
 // golang.org/x/tools/go/analysis (which this module does not depend on):
@@ -137,6 +146,49 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[int][]
 	return allows
 }
 
+// AllowSite is one //smartconf:allow suppression comment found in source,
+// well-formed or not. Reason is empty when the mandatory ` -- <reason>` tail
+// is missing — such a suppression is inert (findings still fire) and
+// smartconf-vet -allows reports it as an error.
+type AllowSite struct {
+	Pos       token.Position
+	Analyzers []string // analyzer names listed before the ` -- ` separator
+	Reason    string   // justification after ` -- `; empty means malformed
+}
+
+// CollectAllowSites returns every suppression comment in the package, in
+// file/line order. Unlike collectAllows it keeps malformed (reason-less)
+// sites, so the -allows audit can flag them instead of silently ignoring
+// them.
+func CollectAllowSites(pkg *Package) []AllowSite {
+	var sites []AllowSite
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				name, reason, _ := strings.Cut(rest, "--")
+				sites = append(sites, AllowSite{
+					Pos:       pkg.Fset.Position(c.Pos()),
+					Analyzers: strings.Fields(name),
+					Reason:    strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i].Pos, sites[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return sites
+}
+
 // Analyzers returns the full smartconf-vet suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -144,6 +196,9 @@ func Analyzers() []*Analyzer {
 		CacheKeyAnalyzer,
 		FloatCmpAnalyzer,
 		GuardedByAnalyzer,
+		HotAllocAnalyzer,
+		ConfBoundsAnalyzer,
+		SeedFlowAnalyzer,
 	}
 }
 

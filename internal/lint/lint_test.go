@@ -1,12 +1,14 @@
 package lint_test
 
 import (
+	"go/ast"
 	"go/importer"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -179,18 +181,120 @@ func TestGuardedByAnalyzer(t *testing.T) {
 	runAnalyzerTest(t, lint.GuardedByAnalyzer, "lint.test/guardedby")
 }
 
+func TestHotAllocAnalyzer(t *testing.T) {
+	runAnalyzerTest(t, lint.HotAllocAnalyzer, "lint.test/hotalloc")
+}
+
+func TestConfBoundsAnalyzer(t *testing.T) {
+	defer swap(&lint.BoundSpecTypes, []string{"lint.test/confbounds.Spec"})()
+	defer swap(&lint.ConfConstructors, []string{"lint.test/confbounds.New"})()
+	runAnalyzerTest(t, lint.ConfBoundsAnalyzer, "lint.test/confbounds")
+}
+
+func TestSeedFlowAnalyzer(t *testing.T) {
+	defer swap(&lint.SeedFlowPackages, []string{"lint.test/seedflow"})()
+	runAnalyzerTest(t, lint.SeedFlowAnalyzer, "lint.test/seedflow")
+}
+
+// TestCollectAllowSites pins the -allows audit surface: every suppression
+// comment is reported, including the reason-less one that analysis itself
+// ignores.
+func TestCollectAllowSites(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg, err := newTestImporter(fset).load("lint.test/hotalloc")
+	if err != nil {
+		t.Fatalf("loading: %v", err)
+	}
+	sites := lint.CollectAllowSites(pkg)
+	if len(sites) != 2 {
+		t.Fatalf("got %d allow sites, want 2: %v", len(sites), sites)
+	}
+	var reasoned, inert int
+	for _, s := range sites {
+		if len(s.Analyzers) != 1 || s.Analyzers[0] != "hotalloc" {
+			t.Errorf("site %s: analyzers = %v, want [hotalloc]", s.Pos, s.Analyzers)
+		}
+		if s.Reason == "" {
+			inert++
+		} else {
+			reasoned++
+		}
+	}
+	if reasoned != 1 || inert != 1 {
+		t.Errorf("got %d reasoned + %d inert sites, want 1 + 1", reasoned, inert)
+	}
+}
+
+// TestHotPathRootsAnnotated pins the contract between the whole-run
+// allocation benchgates and the hotalloc analyzer: every benchgate-gated
+// request-path entry point must carry the //smartconf:hotpath annotation, so
+// the static analyzer guards exactly the code the runtime gates measure.
+func TestHotPathRootsAnnotated(t *testing.T) {
+	roots := map[string][]string{
+		"smartconf/internal/rpcserver": {"Offer", "finishSlot", "drainDone"},
+		"smartconf/internal/llmserve":  {"Offer", "endStepArg"},
+		"smartconf/internal/kvstore":   {"Write", "flushDone"},
+		"smartconf/internal/dfs":       {"Write"},
+		"smartconf/internal/mapred":    {"RunJob", "schedulerTick", "writeChunk", "reduceDone"},
+	}
+	paths := make([]string, 0, len(roots))
+	for p := range roots {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	pkgs, err := lint.Load("", paths...)
+	if err != nil {
+		t.Fatalf("loading substrate packages: %v", err)
+	}
+	byPath := map[string]*lint.Package{}
+	for _, pkg := range pkgs {
+		byPath[pkg.Path] = pkg
+	}
+	for _, path := range paths {
+		pkg := byPath[path]
+		if pkg == nil {
+			t.Errorf("package %s not loaded", path)
+			continue
+		}
+		for _, fn := range roots[path] {
+			if !funcHasHotPathMarker(pkg, fn) {
+				t.Errorf("%s.%s is a benchgate-gated entry point but lacks the //smartconf:hotpath annotation", path, fn)
+			}
+		}
+	}
+}
+
+func funcHasHotPathMarker(pkg *lint.Package, name string) bool {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), "//smartconf:hotpath") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // TestAnalyzersOutsideScopedPackagesAreSilent pins the package scoping: the
 // path-scoped analyzers must not fire on packages outside their configured
 // lists, however many violations those packages contain.
 func TestAnalyzersOutsideScopedPackagesAreSilent(t *testing.T) {
 	defer swap(&lint.DeterminismPackages, []string{"lint.test/nonexistent"})()
 	defer swap(&lint.FloatCmpPackages, []string{"lint.test/nonexistent"})()
+	defer swap(&lint.SeedFlowPackages, []string{"lint.test/nonexistent"})()
 	for _, tc := range []struct {
 		a    *lint.Analyzer
 		path string
 	}{
 		{lint.DeterminismAnalyzer, "lint.test/determinism/sim"},
 		{lint.FloatCmpAnalyzer, "lint.test/floatcmp"},
+		{lint.SeedFlowAnalyzer, "lint.test/seedflow"},
 	} {
 		fset := token.NewFileSet()
 		pkg, err := newTestImporter(fset).load(tc.path)

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeedFlowPackages lists the import-path prefixes whose randomness must be
+// scenario-seeded — the same simulation-reachable surface the determinism
+// analyzer scopes to. Tests override this to point at testdata.
+var SeedFlowPackages = []string{
+	"smartconf/internal/sim",
+	"smartconf/internal/rpcserver",
+	"smartconf/internal/kvstore",
+	"smartconf/internal/dfs",
+	"smartconf/internal/mapred",
+	"smartconf/internal/memsim",
+	"smartconf/internal/disksim",
+	"smartconf/internal/llmserve",
+	"smartconf/internal/workload",
+	"smartconf/internal/cluster",
+	"smartconf/internal/experiments",
+	"smartconf/internal/chaos",
+	"smartconf/internal/proptest",
+	"smartconf/internal/sysfile",
+	"smartconf/internal/study",
+	"smartconf/cmd",
+}
+
+// SeedFlowAnalyzer is the positive half of the randomness contract: where
+// the determinism analyzer bans the global math/rand source, seedflow proves
+// the local sources are plumbed correctly. Every rand.NewSource seed
+// expression in a simulation-reachable package must derive from a
+// scenario/plan seed — a parameter, field, or variable whose name contains
+// "seed" — or be a non-zero named/literal constant (a fixed scenario seed).
+//
+// Flagged shapes:
+//
+//   - a constant-zero seed: indistinguishable from an unset Seed field, so a
+//     forgotten plumbing line looks exactly like intent;
+//   - a seed derived from a function call (time.Now().UnixNano() and
+//     friends): not reproducible from the scenario description;
+//   - a seed derived from a package-level variable: shared mutable state,
+//     not a per-run plan;
+//   - a non-constant seed expression none of whose parts is seed-named: the
+//     provenance cannot be audited.
+//
+// Mixing is fine: seed+offset, seed+int64(i), seed^0x9e37 all pass, because
+// at least one operand carries the seed and the rest are derivation.
+var SeedFlowAnalyzer = &Analyzer{
+	Name: "seedflow",
+	Doc: "rand.NewSource seeds in simulation-reachable packages must derive " +
+		"from a seed parameter/field or a non-zero constant (zero seeds, call " +
+		"results, and package-level variables are findings)",
+	Run: runSeedFlow,
+}
+
+func runSeedFlow(pass *Pass) error {
+	if !pathMatchesPrefix(pass.Pkg.Path(), SeedFlowPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		var fd *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fd = n
+			case *ast.CallExpr:
+				if path, name := pkgFunc(pass.Info, n); (path == "math/rand" || path == "math/rand/v2") &&
+					(name == "NewSource" || name == "NewPCG") {
+					for _, arg := range n.Args {
+						checkSeedExpr(pass, fd, n, arg)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seedTaint is the classification of one seed expression.
+type seedTaint struct {
+	seedNamed bool   // at least one leaf is a seed-named identifier
+	forbidden string // non-empty: why the expression cannot carry a seed
+}
+
+func checkSeedExpr(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, e ast.Expr) {
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+		if constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0)) {
+			pass.Reportf(call.Pos(),
+				"rand source seeded with constant zero — indistinguishable from an unset Seed field; thread the scenario/plan seed or use a named non-zero constant")
+		}
+		return // non-zero constant: a fixed scenario seed, auditable as-is
+	}
+	var taint seedTaint
+	seedWalk(pass, fd, e, 0, &taint)
+	if taint.forbidden != "" {
+		pass.Reportf(call.Pos(),
+			"rand source seed derives from %s; seeds must be explicit scenario/plan values", taint.forbidden)
+		return
+	}
+	if !taint.seedNamed {
+		pass.Reportf(call.Pos(),
+			"rand source seed does not derive from a seed parameter, field, or constant; plumb the scenario/plan seed through")
+	}
+}
+
+// seedWalk classifies the leaves of a seed expression. Conversions, unary
+// and binary arithmetic are transparent; identifiers trace one local
+// definition deep.
+func seedWalk(pass *Pass, fd *ast.FuncDecl, e ast.Expr, depth int, taint *seedTaint) {
+	if depth > 6 || taint.forbidden != "" {
+		return
+	}
+	// A seed-named leaf counts even when it is a named constant (a fixed
+	// scenario seed), so names are checked before anything else; constant
+	// leaves that are NOT seed-named fall out as neutral derivation below.
+	switch l := e.(type) {
+	case *ast.Ident:
+		if seedName(l.Name) {
+			taint.seedNamed = true
+			return
+		}
+	case *ast.SelectorExpr:
+		if seedName(l.Sel.Name) {
+			taint.seedNamed = true
+			return
+		}
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		seedWalk(pass, fd, e.X, depth, taint)
+	case *ast.UnaryExpr:
+		seedWalk(pass, fd, e.X, depth, taint)
+	case *ast.BinaryExpr:
+		seedWalk(pass, fd, e.X, depth, taint)
+		seedWalk(pass, fd, e.Y, depth, taint)
+	case *ast.CallExpr:
+		if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			seedWalk(pass, fd, e.Args[0], depth, taint) // conversion
+			return
+		}
+		taint.forbidden = "a function call (" + callName(pass, e) + ")"
+	case *ast.Ident:
+		seedWalkIdent(pass, fd, e, depth, taint)
+	case *ast.SelectorExpr:
+		if obj, ok := pass.Info.Uses[e.Sel].(*types.Var); ok && !obj.IsField() && isPackageLevel(obj) {
+			taint.forbidden = "package-level variable " + obj.Name()
+		}
+	}
+}
+
+func seedWalkIdent(pass *Pass, fd *ast.FuncDecl, id *ast.Ident, depth int, taint *seedTaint) {
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	if isPackageLevel(obj) {
+		taint.forbidden = "package-level variable " + obj.Name()
+		return
+	}
+	if fd == nil {
+		return
+	}
+	if init := localInit(pass, fd, obj); init != nil {
+		seedWalk(pass, fd, init, depth+1, taint)
+	}
+}
+
+func seedName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "seed")
+}
+
+func isPackageLevel(obj *types.Var) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+func callName(pass *Pass, call *ast.CallExpr) string {
+	if path, name := pkgFunc(pass.Info, call); path != "" {
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			path = path[i+1:]
+		}
+		return path + "." + name
+	}
+	if obj := calleeObj(pass.Info, call); obj != nil {
+		return obj.Name()
+	}
+	return "unknown"
+}

@@ -1,0 +1,119 @@
+// Package confbounds exercises the confbounds analyzer: rule A (bound-spec
+// literals flowing into constructors must state finite non-zero Max bounds)
+// and rule B (fields annotated `clampedby: fn` change only through fn).
+// The test harness points BoundSpecTypes at Spec and ConfConstructors at New.
+package confbounds
+
+import "math"
+
+// Spec is the fixture's bound-carrying option struct.
+type Spec struct {
+	Name     string
+	Min, Max float64
+}
+
+// Conf is the fixture's live configuration.
+type Conf struct {
+	v float64
+}
+
+// New is the fixture's constructor: Spec literals flowing here are checked.
+func New(s Spec) *Conf { return &Conf{} }
+
+func ok() *Conf {
+	return New(Spec{Name: "ok", Min: 1, Max: 100})
+}
+
+func positional() *Conf {
+	return New(Spec{"p", 1, 50})
+}
+
+func missingMax() *Conf {
+	return New(Spec{Name: "m"}) // want "constructed without a Max bound"
+}
+
+func zeroMax() *Conf {
+	return New(Spec{Name: "z", Max: 0}) // want "Max bound of constant zero means unbounded"
+}
+
+func infMax() *Conf {
+	return New(Spec{Name: "i", Max: math.Inf(1)}) // want "Max bound built from math.Inf is not a finite bound"
+}
+
+func nanMin() *Conf {
+	return New(Spec{Name: "n", Min: math.NaN(), Max: 10}) // want "Min bound built from math.NaN is not a finite bound"
+}
+
+func viaLocal() *Conf {
+	s := Spec{Name: "local"} // want "constructed without a Max bound"
+	return New(s)
+}
+
+// fromParsed passes a dynamically built Spec (parsed bindings, profile-derived
+// caps): nothing to check statically, so it stays silent.
+func fromParsed(s Spec) *Conf {
+	return New(s)
+}
+
+func allowedUnbounded() *Conf {
+	//smartconf:allow confbounds -- fixture: intentionally unbounded knob, proves the suppression hatch
+	return New(Spec{Name: "u"})
+}
+
+// otherSpec has Min/Max fields but is not a registered bound-spec type, and
+// other is not a registered constructor: out of scope, silent.
+type otherSpec struct {
+	Min, Max float64
+}
+
+func other(s otherSpec) {}
+
+func useOther() {
+	other(otherSpec{})
+}
+
+// knob's value may only change through clamp (rule B).
+type knob struct {
+	value float64 // clampedby: clamp
+	limit float64
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (k *knob) set(v float64) {
+	k.value = clamp(v)
+}
+
+func (k *knob) raw(v float64) {
+	k.value = v // want "write to field value does not flow through clamp"
+}
+
+func (k *knob) bump() {
+	k.value++ // want "++ of field value bypasses clamp"
+}
+
+func (k *knob) add(v float64) {
+	k.value += v // want "compound assignment to field value bypasses clamp"
+}
+
+func newKnob(v float64) *knob {
+	return &knob{value: v} // want "field value initialized without flowing through clamp"
+}
+
+func zeroKnob() *knob {
+	return &knob{limit: 10} // silent: value starts at its zero value; limit is unannotated
+}
+
+func clampedKnob(v float64) *knob {
+	c := clamp(v)
+	return &knob{value: c} // silent: the local traces to a clamp call
+}
+
+func (k *knob) setLimit(v float64) {
+	k.limit = v // silent: limit carries no clampedby annotation
+}

@@ -1,0 +1,109 @@
+// Package hotalloc exercises the hotalloc analyzer: every allocation shape
+// in code reachable from a //smartconf:hotpath root is a finding, allocation
+// in unannotated unreachable code is out of scope, and a reasoned
+// //smartconf:allow comment suppresses an individual site (a reason-less one
+// is inert).
+package hotalloc
+
+import "fmt"
+
+type point struct {
+	x int
+}
+
+type server struct {
+	buf   []int
+	total int
+}
+
+func (s *server) handler() {}
+
+func run(fn func()) { fn() }
+
+func sink(v interface{}) { _ = v }
+
+// Offer is the fixture's request-path root: every helper it calls is
+// reachable and checked, with findings attributed "via Offer".
+//
+//smartconf:hotpath
+func (s *server) Offer(n int) {
+	if n < 0 {
+		panic("negative request") // silent: terminal path
+	}
+	run(func() { s.total += n }) // want "func literal captures s, n"
+	s.record(n)
+	s.grow(n)
+	s.report(n)
+	s.label("k", "v")
+	s.box(n)
+	s.collect(n)
+	s.bind()
+	s.refill(n)
+	s.inert(n)
+}
+
+// record is not annotated but reachable from Offer: findings here attribute
+// the root interprocedurally.
+func (s *server) record(n int) {
+	p := &point{x: n} // want "&composite literal allocates per evaluation (hot path via Offer)"
+	s.total += p.x
+	xs := []int{n} // want "slice literal allocates per evaluation (hot path via Offer)"
+	s.total += xs[0]
+	m := map[int]int{n: n} // want "map literal allocates per evaluation (hot path via Offer)"
+	s.total += m[n]
+}
+
+func (s *server) grow(n int) {
+	b := make([]int, n) // want "make allocates per evaluation (hot path via Offer)"
+	q := new(point)     // want "new allocates per evaluation (hot path via Offer)"
+	s.total += len(b) + q.x
+}
+
+func (s *server) report(n int) {
+	fmt.Sprintf("n=%d", n) // want "fmt.Sprintf allocates"
+}
+
+func (s *server) label(name, id string) {
+	key := name + id // want "string concatenation allocates"
+	b := []byte(key) // want "string conversion copies its operand (hot path via Offer)"
+	s.total += len(b)
+}
+
+func (s *server) box(n int) {
+	sink(n) // want "passing int to an interface parameter boxes it on the heap"
+}
+
+func (s *server) collect(n int) {
+	var buf []int
+	buf = append(buf, n) // want "append to buf grows a slice born nil in this function (hot path via Offer)"
+	pooled := s.buf[:0]
+	pooled = append(pooled, n) // silent: reslice of a struct-owned buffer
+	s.total += len(buf) + len(pooled)
+}
+
+func (s *server) bind() {
+	h := s.handler // want "method value handler allocates per evaluation"
+	h()
+}
+
+func (s *server) refill(n int) {
+	//smartconf:allow hotalloc -- fixture: cold-start refill, proves the reasoned suppression hatch
+	b := make([]int, n)
+	s.total += len(b)
+}
+
+// inert carries a suppression without the mandatory ` -- <reason>` tail: it
+// does not suppress, so the finding still fires.
+func (s *server) inert(n int) {
+	//smartconf:allow hotalloc
+	b := make([]int, n) // want "make allocates per evaluation (hot path via Offer)"
+	s.total += len(b)
+}
+
+// coldPath is neither annotated nor reachable from a root: allocation here
+// is out of the analyzer's scope and must stay silent.
+func coldPath(n int) []int {
+	buf := make([]int, n)
+	buf = append(buf, n)
+	return buf
+}

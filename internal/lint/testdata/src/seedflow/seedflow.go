@@ -1,0 +1,61 @@
+// Package seedflow exercises the seedflow analyzer: rand.NewSource seeds
+// must derive from a seed parameter/field or a non-zero constant. The test
+// harness points SeedFlowPackages at this package; the out-of-scope test
+// loads it with the list pointing elsewhere and expects silence.
+package seedflow
+
+import "math/rand"
+
+const defaultSeed = 42
+
+type scenario struct {
+	Seed int64
+}
+
+func good(s scenario) *rand.Rand {
+	return rand.New(rand.NewSource(s.Seed)) // silent: seed-named field
+}
+
+func derived(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(i))) // silent: seed + derivation
+}
+
+func fixed() *rand.Rand {
+	return rand.New(rand.NewSource(1234)) // silent: non-zero constant scenario seed
+}
+
+func named() *rand.Rand {
+	return rand.New(rand.NewSource(defaultSeed + 7)) // silent: seed-named constant
+}
+
+func viaLocal(s scenario) *rand.Rand {
+	base := s.Seed + 1
+	return rand.New(rand.NewSource(base)) // silent: local traced to the seed field
+}
+
+func zero() *rand.Rand {
+	return rand.New(rand.NewSource(0)) // want "rand source seeded with constant zero"
+}
+
+func fromCall() *rand.Rand {
+	return rand.New(rand.NewSource(nowNanos())) // want "derives from a function call"
+}
+
+func nowNanos() int64 { return 0 }
+
+var globalCounter int64
+
+func fromGlobal() *rand.Rand {
+	return rand.New(rand.NewSource(globalCounter)) // want "derives from package-level variable globalCounter"
+}
+
+func unaudited(x int64) *rand.Rand {
+	return rand.New(rand.NewSource(x * 3)) // want "does not derive from a seed parameter, field, or constant"
+}
+
+func allowed() *rand.Rand {
+	//smartconf:allow seedflow -- fixture: deliberately unauditable seed, proves the suppression hatch
+	return rand.New(rand.NewSource(opaque()))
+}
+
+func opaque() int64 { return 7 }

@@ -202,6 +202,7 @@ func (sv *Server) getSeq(req workload.LLMRequest) *seq {
 		*s = seq{req: req, arrived: sv.sim.Now()}
 		return s
 	}
+	//smartconf:allow hotalloc -- cold-start pool refill: fires only until the pool reaches steady-state depth, then every request recycles
 	return &seq{req: req, arrived: sv.sim.Now()}
 }
 
@@ -323,6 +324,8 @@ func (sv *Server) E2E() *metrics.Latency { return sv.e2e }
 
 // Offer submits one request. It returns false when the request is refused
 // (waiting queue full) or lost (server crashed).
+//
+//smartconf:hotpath
 func (sv *Server) Offer(req workload.LLMRequest) bool {
 	if sv.crashed || sv.down {
 		sv.dropped.Inc()
@@ -468,6 +471,8 @@ func (sv *Server) step() {
 
 // endStepArg is the scheduled form of endStep: the argument carries the
 // scheduling incarnation's epoch, invalidating callbacks across Kill.
+//
+//smartconf:hotpath
 func (sv *Server) endStepArg(arg uint64) {
 	if sv.epoch != arg {
 		return

@@ -102,13 +102,29 @@ type JobResult struct {
 	TotalTasks  int
 }
 
-type task struct {
-	bytes int64
+// taskSlot is the in-flight state of one running map task. Slots live in a
+// table owned by the Cluster and are recycled through a free list, so a
+// steady stream of tasks allocates nothing: the slot index rides in the
+// packed event argument instead of a per-task closure.
+type taskSlot struct {
+	worker     *Worker
+	written    int64
+	bytes      int64
+	chunkBytes int64
+	rem        int64
+	chunk      int
+	chunks     int
+	step       time.Duration
+	started    time.Duration
 }
 
+// jobState is the master's view of the one running job. Map tasks are
+// homogeneous (WordCount splits evenly), so the pending queue is a counter
+// plus the per-task footprint rather than a slice of identical entries.
 type jobState struct {
 	job         workload.WordCountJob
-	pending     []task
+	pendingN    int
+	taskBytes   int64
 	runningN    int
 	failedTasks int
 	started     time.Duration
@@ -128,7 +144,22 @@ type Cluster struct {
 
 	minSpaceStart int64 // the knob
 
+	// current points at js while a job is running, nil otherwise; js itself
+	// is reused across jobs so back-to-back submission allocates nothing.
 	current *jobState
+	js      jobState
+	// epoch increments per RunJob; events carry the epoch they were
+	// scheduled under and no-op when a stale one fires after its job ended.
+	epoch uint32
+
+	slots     []taskSlot
+	freeSlots []int
+
+	// Event handlers bound once at construction: a method value created at a
+	// call site allocates, a stored func(uint64) field does not.
+	chunkFn  func(uint64)
+	tickFn   func(uint64)
+	reduceFn func(uint64)
 
 	jobsDone   metrics.Counter
 	jobsFailed metrics.Counter
@@ -149,6 +180,9 @@ func New(s *sim.Simulation, cfg Config, minSpaceStart int64) *Cluster {
 	for i := 0; i < cfg.Workers; i++ {
 		c.workers = append(c.workers, &Worker{ID: i, Disk: disksim.NewDisk(cfg.DiskCapacityBytes)})
 	}
+	c.chunkFn = c.writeChunk
+	c.tickFn = c.schedulerTick
+	c.reduceFn = c.reduceDone
 	return c
 }
 
@@ -216,24 +250,37 @@ func (c *Cluster) Busy() bool { return c.current != nil }
 // RunJob starts a WordCount job; done receives the result. Only one job
 // runs at a time (submitting while busy panics — the experiment drives jobs
 // sequentially, as the paper's WordCount phases do).
+//
+//smartconf:hotpath
 func (c *Cluster) RunJob(job workload.WordCountJob, done func(JobResult)) {
 	if c.current != nil {
 		panic("mapred: job already running")
 	}
-	js := &jobState{job: job, started: c.sim.Now(), done: done}
-	per := job.IntermediateBytesPerTask()
-	for i := 0; i < job.MapTasks(); i++ {
-		js.pending = append(js.pending, task{bytes: per})
+	c.epoch++
+	c.js = jobState{
+		job:       job,
+		started:   c.sim.Now(),
+		done:      done,
+		taskBytes: job.IntermediateBytesPerTask(),
+		pendingN:  job.MapTasks(),
 	}
-	c.current = js
+	c.current = &c.js
 	c.schedule()
-	c.sim.Every(c.cfg.ScheduleInterval, c.cfg.ScheduleInterval, func() bool {
-		if c.current != js {
-			return false
-		}
-		c.schedule()
-		return true
-	})
+	c.sim.AfterArg(c.cfg.ScheduleInterval, c.tickFn, uint64(c.epoch))
+}
+
+// schedulerTick is the master's periodic admission pass. Like the chunk and
+// reduce handlers, it reschedules itself unconditionally (matching the old
+// Every loop) and lets the epoch guard retire the one stale tick left
+// pending when its job ends.
+//
+//smartconf:hotpath
+func (c *Cluster) schedulerTick(arg uint64) {
+	if uint32(arg) != c.epoch || c.current == nil {
+		return
+	}
+	c.schedule()
+	c.sim.AfterArg(c.cfg.ScheduleInterval, c.tickFn, arg)
 }
 
 func (c *Cluster) schedule() {
@@ -242,77 +289,127 @@ func (c *Cluster) schedule() {
 		return
 	}
 	for _, w := range c.workers {
-		for w.running < js.job.Parallelism && len(js.pending) > 0 {
+		for w.running < js.job.Parallelism && js.pendingN > 0 {
 			if c.BeforeSchedule != nil {
-				c.BeforeSchedule(w, js.pending[0].bytes)
+				c.BeforeSchedule(w, js.taskBytes)
 			}
 			if w.Disk.Free() < c.minSpaceStart {
 				break // this worker lacks headroom; try the next
 			}
-			t := js.pending[0]
-			js.pending = js.pending[1:]
-			c.launch(w, js, t)
+			js.pendingN--
+			c.launch(w, js.taskBytes)
 		}
 	}
 	c.maybeFinish()
 }
 
-func (c *Cluster) launch(w *Worker, js *jobState, t task) {
+func (c *Cluster) takeSlot() int {
+	if n := len(c.freeSlots); n > 0 {
+		s := c.freeSlots[n-1]
+		c.freeSlots = c.freeSlots[:n-1]
+		return s
+	}
+	c.slots = append(c.slots, taskSlot{})
+	return len(c.slots) - 1
+}
+
+func (c *Cluster) releaseSlot(slot int) {
+	c.slots[slot] = taskSlot{}
+	c.freeSlots = append(c.freeSlots, slot)
+}
+
+// chunkArg packs a slot index and the scheduling epoch into one event
+// argument: slot in the high 32 bits, epoch in the low 32.
+func chunkArg(slot int, epoch uint32) uint64 {
+	return uint64(slot)<<32 | uint64(epoch)
+}
+
+func (c *Cluster) launch(w *Worker, bytes int64) {
 	w.running++
-	w.committed += t.bytes
-	js.runningN++
+	w.committed += bytes
+	c.js.runningN++
 	chunks := c.cfg.WriteChunks
 	if chunks < 1 {
 		chunks = 1
 	}
-	chunkBytes := t.bytes / int64(chunks)
-	rem := t.bytes - chunkBytes*int64(chunks)
-	total := time.Duration(float64(t.bytes) / float64(c.cfg.TaskBytesPerSec) * float64(time.Second))
+	chunkBytes := bytes / int64(chunks)
+	rem := bytes - chunkBytes*int64(chunks)
+	total := time.Duration(float64(bytes) / float64(c.cfg.TaskBytesPerSec) * float64(time.Second))
 	step := total / time.Duration(chunks)
-	started := c.sim.Now()
 
-	var written int64
-	var writeChunk func(i int)
-	writeChunk = func(i int) {
-		if c.current != js {
-			return
-		}
-		b := chunkBytes
-		if i == chunks-1 {
-			b += rem
-		}
-		if err := w.Disk.Write(b); err != nil {
-			// Out of disk mid-task: the task fails; its partial output is
-			// cleaned up, but the job is marked failed.
-			w.Disk.Delete(written)
-			w.committed -= t.bytes - written
-			w.running--
-			js.runningN--
-			js.failedTasks++
-			c.maybeFinish()
-			return
-		}
-		written += b
-		w.committed -= b
-		if i+1 < chunks {
-			c.sim.After(step, func() { writeChunk(i + 1) })
-			return
-		}
-		// Task complete: the shuffle copies the output off the local disk,
-		// releasing the space.
-		w.Disk.Delete(written)
-		w.running--
-		js.runningN--
-		js.mapsDone++
-		c.taskTimes.Observe(c.sim.Now() - started)
-		c.schedule()
+	slot := c.takeSlot()
+	c.slots[slot] = taskSlot{
+		worker:     w,
+		bytes:      bytes,
+		chunkBytes: chunkBytes,
+		rem:        rem,
+		chunks:     chunks,
+		step:       step, // captured here: SetTaskBytesPerSec affects new launches only
+		started:    c.sim.Now(),
 	}
-	c.sim.After(step, func() { writeChunk(0) })
+	c.sim.AfterArg(step, c.chunkFn, chunkArg(slot, c.epoch))
+}
+
+// writeChunk lands one installment of a task's intermediate output.
+//
+//smartconf:hotpath
+func (c *Cluster) writeChunk(arg uint64) {
+	if uint32(arg) != c.epoch || c.current == nil {
+		return
+	}
+	slot := int(arg >> 32)
+	st := &c.slots[slot]
+	w := st.worker
+	b := st.chunkBytes
+	if st.chunk == st.chunks-1 {
+		b += st.rem
+	}
+	if err := w.Disk.Write(b); err != nil {
+		// Out of disk mid-task: the task fails; its partial output is
+		// cleaned up, but the job is marked failed.
+		w.Disk.Delete(st.written)
+		w.committed -= st.bytes - st.written
+		w.running--
+		c.js.runningN--
+		c.js.failedTasks++
+		c.releaseSlot(slot)
+		c.maybeFinish()
+		return
+	}
+	st.written += b
+	w.committed -= b
+	st.chunk++
+	if st.chunk < st.chunks {
+		c.sim.AfterArg(st.step, c.chunkFn, arg)
+		return
+	}
+	// Task complete: the shuffle copies the output off the local disk,
+	// releasing the space.
+	w.Disk.Delete(st.written)
+	w.running--
+	c.js.runningN--
+	c.js.mapsDone++
+	started := st.started
+	c.releaseSlot(slot)
+	c.taskTimes.Observe(c.sim.Now() - started)
+	c.schedule()
+}
+
+// reduceDone retires one reducer scheduled by maybeFinish.
+//
+//smartconf:hotpath
+func (c *Cluster) reduceDone(arg uint64) {
+	if uint32(arg) != c.epoch || c.current == nil {
+		return
+	}
+	c.js.runningN--
+	c.js.reducersUp++
+	c.maybeFinish()
 }
 
 func (c *Cluster) maybeFinish() {
 	js := c.current
-	if js == nil || len(js.pending) > 0 || js.runningN > 0 {
+	if js == nil || js.pendingN > 0 || js.runningN > 0 {
 		return
 	}
 	// All map tasks are done; run the reduce phase once, if the job has one.
@@ -329,11 +426,7 @@ func (c *Cluster) maybeFinish() {
 		d := time.Duration(float64(perReducer) / float64(c.cfg.TaskBytesPerSec) * float64(time.Second))
 		js.runningN += js.job.Reducers
 		for r := 0; r < js.job.Reducers; r++ {
-			c.sim.After(d, func() {
-				js.runningN--
-				js.reducersUp++
-				c.maybeFinish()
-			})
+			c.sim.AfterArg(d, c.reduceFn, uint64(c.epoch))
 		}
 		return
 	}

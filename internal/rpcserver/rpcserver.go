@@ -247,6 +247,8 @@ func (sv *Server) Latency() *metrics.Latency { return sv.latency }
 
 // Offer submits one call. It returns false when the call is refused
 // (queue full) or lost (server crashed).
+//
+//smartconf:hotpath
 func (sv *Server) Offer(op workload.Op) bool {
 	if sv.crashed || sv.down {
 		sv.dropped.Inc()
@@ -291,6 +293,7 @@ func (sv *Server) getBatch() []call {
 	if capHint < 1 {
 		capHint = 1
 	}
+	//smartconf:allow hotalloc -- cold-start pool refill: fires only until the pool reaches steady-state depth, then every batch recycles
 	return make([]call, 0, capHint)
 }
 
@@ -365,6 +368,8 @@ func (sv *Server) dispatch() {
 
 // finishSlot is the scheduled completion entry point (bound once as
 // finishFn). It unpacks the slot and epoch and drops stale incarnations.
+//
+//smartconf:hotpath
 func (sv *Server) finishSlot(arg uint64) {
 	if uint32(arg) != uint32(sv.epoch) {
 		return
@@ -468,6 +473,8 @@ func (sv *Server) drain() {
 // drainDone is the scheduled drain completion (bound once as drainFn): one
 // response has finished transferring to its client. Only one drain is in
 // flight at a time, so the size lives in drainSize rather than a closure.
+//
+//smartconf:hotpath
 func (sv *Server) drainDone(arg uint64) {
 	if sv.epoch != arg {
 		return
