@@ -1,0 +1,31 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"smartconf/internal/declog"
+	"smartconf/internal/experiments"
+)
+
+// writeDecisionLogs captures one logged chaos run per substrate (the
+// seed-generated plan under ChaosSeed) and serializes each decision log as
+// <dir>/<substrate>.declog.json — the input format of cmd/smartconf-replay.
+func writeDecisionLogs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, sub := range experiments.ChaosSubstrates() {
+		_, env := experiments.RunChaosPropertyLogged(sub, experiments.ChaosSeed)
+		b, err := declog.Encode(env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sub, err)
+		}
+		path := filepath.Join(dir, sub+".declog.json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

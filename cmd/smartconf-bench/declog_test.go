@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartconf/internal/declog"
+	"smartconf/internal/experiments"
+)
+
+// The -declog export must produce one parseable envelope per chaos substrate,
+// each carrying decisions and replayable coordinates — the contract
+// cmd/smartconf-replay relies on.
+func TestWriteDecisionLogs(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeDecisionLogs(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range experiments.ChaosSubstrates() {
+		b, err := os.ReadFile(filepath.Join(dir, sub+".declog.json"))
+		if err != nil {
+			t.Fatalf("%s: %v", sub, err)
+		}
+		env, err := declog.Parse(b)
+		if err != nil {
+			t.Fatalf("%s: exported envelope does not parse: %v", sub, err)
+		}
+		if env.Substrate != sub || env.Seed != experiments.ChaosSeed {
+			t.Errorf("%s: envelope coordinates %s/seed=%d", sub, env.Substrate, env.Seed)
+		}
+		if env.Total == 0 {
+			t.Errorf("%s: exported log holds no decisions", sub)
+		}
+		if err := experiments.ValidateEnvelopeRun(env); err != nil {
+			t.Errorf("%s: envelope not replayable: %v", sub, err)
+		}
+	}
+}

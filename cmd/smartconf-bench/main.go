@@ -154,6 +154,7 @@ func run() int {
 	scale := flag.Bool("scale", false, "run the raw-speed campaign instead of the paper artifacts")
 	scaleRequests := flag.Int64("scale-requests", 10_000_000, "requests per substrate for -scale")
 	csvDir := flag.String("csv", "", "also write the figure time series as CSV files into this directory")
+	declogDir := flag.String("declog", "", "also export one decision-log envelope per chaos substrate into this directory (input for smartconf-replay)")
 	parallel := flag.Int("parallel", engine.Workers(), "number of concurrent simulation workers")
 	cacheDir := flag.String("cachedir", "", "persist simulation results in this directory and reuse them across runs")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -203,6 +204,13 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("wrote figure series CSVs to %s\n", *csvDir)
+	}
+	if *declogDir != "" {
+		if err := writeDecisionLogs(*declogDir); err != nil {
+			fmt.Fprintf(os.Stderr, "declog export: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote decision-log envelopes to %s\n", *declogDir)
 	}
 
 	if *list {

@@ -1,0 +1,26 @@
+// Command smartconf-replay is the offline decision-log analyzer: it loads a
+// serialized decision-log envelope (written by smartconf-bench -declog),
+// re-executes the logged run through the deterministic engine, and renders a
+// counterfactual-delta artifact for a sweep of perturbed decisions — "what if
+// the pole had been 0.9 from period 5?", "what if the clamp ceiling were
+// lower?" — each row next to the logged baseline.
+//
+// Usage:
+//
+//	smartconf-replay -in HB3813.declog.json -verify            # byte-identity check
+//	smartconf-replay -in HB3813.declog.json -pole 0.5,0.9,0.95 # pole counterfactuals
+//	smartconf-replay -in ... -clampmax 40 -from 10             # bound override from period 10
+//	smartconf-replay -in ... -pole 0.9 -cachedir /tmp/sc       # warm rebuilds simulate nothing
+//
+// Every row is a pure function of (substrate, plan, seed, perturbation): the
+// artifact is byte-identical at any -parallel worker count, and a warm
+// -cachedir rebuild executes zero simulations.
+package main
+
+import "os"
+
+// main delegates to run so the testable half owns all control flow
+// (os.Exit skips defers and is invisible to coverage).
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

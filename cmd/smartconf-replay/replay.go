@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"smartconf/internal/declog"
+	"smartconf/internal/experiments"
+	"smartconf/internal/experiments/engine"
+)
+
+// buildPerturbs turns the flag values into the perturbation sweep: one
+// counterfactual row per -pole value, plus one clamp-bound row when
+// -clampmin/-clampmax is given. All rows apply from the same -from period.
+func buildPerturbs(poles string, from uint64, clampMin, clampMax float64) ([]declog.Perturb, error) {
+	var out []declog.Perturb
+	if poles != "" {
+		for _, f := range strings.Split(poles, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-pole %q: %w", f, err)
+			}
+			if v < 0 || v >= 1 {
+				return nil, fmt.Errorf("-pole %g outside [0,1) — Eq. 2 requires a stable pole", v)
+			}
+			out = append(out, declog.Perturb{FromPeriod: uint32(from), SetPole: true, Pole: v})
+		}
+	}
+	if !math.IsNaN(clampMin) || !math.IsNaN(clampMax) {
+		p := declog.Perturb{FromPeriod: uint32(from)}
+		if !math.IsNaN(clampMin) {
+			p.SetMin, p.Min = true, clampMin
+		}
+		if !math.IsNaN(clampMax) {
+			p.SetMax, p.Max = true, clampMax
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// verifyEnvelope is the zero-perturbation identity check: replaying the
+// envelope's coordinates with no perturbation must reproduce the decision
+// log byte for byte. The comparison is on canonical encodings, so a log that
+// was reformatted on disk still verifies as long as it parses.
+func verifyEnvelope(env declog.Envelope, stdout io.Writer) error {
+	rep, renv, err := experiments.ReplayEnvelope(env, declog.Perturb{})
+	if err != nil {
+		return err
+	}
+	want, err := declog.Encode(env)
+	if err != nil {
+		return fmt.Errorf("encoding input log: %w", err)
+	}
+	got, err := declog.Encode(renv)
+	if err != nil {
+		return fmt.Errorf("encoding replayed log: %w", err)
+	}
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("replay diverged from the logged run: %d vs %d bytes, run fingerprint %s vs logged %s",
+			len(got), len(want), rep.Fingerprint, env.Fingerprint)
+	}
+	fmt.Fprintf(stdout, "verify: %s/%s seed %d replayed byte-identically (%d decisions, %d sources, fingerprint %s)\n",
+		env.Substrate, env.Plan, env.Seed, env.Total, len(env.Sources), env.Fingerprint)
+	return nil
+}
+
+// run is the whole tool behind a FlagSet: parse, load, verify and/or sweep,
+// render. Returns the process exit code; 2 flags a usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smartconf-replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "decision-log envelope to replay (required; written by smartconf-bench -declog)")
+	verify := fs.Bool("verify", false, "zero-perturbation check: the replay must reproduce the log byte-identically")
+	poles := fs.String("pole", "", "comma-separated pole overrides, one counterfactual row each (e.g. 0.5,0.9,0.95)")
+	from := fs.Uint64("from", 1, "first control period the perturbation applies to (1 = from the start)")
+	clampMin := fs.Float64("clampmin", math.NaN(), "override the controller's lower clamp bound")
+	clampMax := fs.Float64("clampmax", math.NaN(), "override the controller's upper clamp bound")
+	outFile := fs.String("out", "", "write the counterfactual artifact to this file instead of stdout")
+	parallel := fs.Int("parallel", engine.Workers(), "number of concurrent simulation workers")
+	cacheDir := fs.String("cachedir", "", "persist counterfactual runs in this directory and reuse them across invocations")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(stderr, "smartconf-replay: -in is required (a decision-log envelope; see smartconf-bench -declog)")
+		fs.Usage()
+		return 2
+	}
+	perturbs, err := buildPerturbs(*poles, *from, *clampMin, *clampMax)
+	if err != nil {
+		fmt.Fprintf(stderr, "smartconf-replay: %v\n", err)
+		return 2
+	}
+	if len(perturbs) == 0 && !*verify {
+		fmt.Fprintln(stderr, "smartconf-replay: nothing to do — give -pole/-clampmin/-clampmax for a counterfactual sweep, or -verify for the identity check")
+		return 2
+	}
+
+	engine.SetWorkers(*parallel)
+	if *cacheDir != "" {
+		if err := experiments.EnablePersistentRunCache(*cacheDir); err != nil {
+			fmt.Fprintf(stderr, "smartconf-replay: cachedir: %v\n", err)
+			return 1
+		}
+	}
+
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(stderr, "smartconf-replay: %v\n", err)
+		return 1
+	}
+	env, err := declog.Parse(raw)
+	if err != nil {
+		fmt.Fprintf(stderr, "smartconf-replay: %s: %v\n", *in, err)
+		return 1
+	}
+
+	if *verify {
+		if err := verifyEnvelope(env, stdout); err != nil {
+			fmt.Fprintf(stderr, "smartconf-replay: verify: %v\n", err)
+			return 1
+		}
+	}
+
+	if len(perturbs) > 0 {
+		base := experiments.CounterfactualChaos(env.Substrate, env.Plan, env.Seed, declog.Perturb{})
+		rows, err := experiments.RunCounterfactuals(env, perturbs)
+		if err != nil {
+			fmt.Fprintf(stderr, "smartconf-replay: %v\n", err)
+			return 1
+		}
+		artifact := experiments.RenderCounterfactuals(env, base, rows)
+		if *outFile != "" {
+			if err := os.WriteFile(*outFile, []byte(artifact), 0o644); err != nil {
+				fmt.Fprintf(stderr, "smartconf-replay: %v\n", err)
+				return 1
+			}
+		} else {
+			fmt.Fprint(stdout, artifact)
+		}
+	}
+
+	if *cacheDir != "" {
+		// To stderr so the rendered artifact stays byte-identical with and
+		// without the cache.
+		executed, _ := experiments.RunCacheStats()
+		loaded, written := experiments.PersistentRunCacheStats()
+		fmt.Fprintf(stderr, "run cache: %d simulated, %d loaded from %s, %d written\n",
+			executed, loaded, *cacheDir, written)
+	}
+	return 0
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smartconf/internal/declog"
+	"smartconf/internal/experiments"
+	"smartconf/internal/experiments/engine"
+)
+
+// writeEnvelope captures one logged chaos run and serializes it where the
+// tool expects its input — the same envelope smartconf-bench -declog writes.
+func writeEnvelope(t *testing.T, substrate string, seed int64) string {
+	t.Helper()
+	_, env := experiments.RunChaosPropertyLogged(substrate, seed)
+	b, err := declog.Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), substrate+".declog.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The tool-level acceptance criterion: for every substrate, replaying a
+// captured log with zero perturbations reproduces it byte-identically.
+func TestVerifyZeroPerturbationAllSubstrates(t *testing.T) {
+	for _, sub := range experiments.ChaosSubstrates() {
+		t.Run(sub, func(t *testing.T) {
+			in := writeEnvelope(t, sub, 2)
+			var out, errb bytes.Buffer
+			if code := run([]string{"-in", in, "-verify"}, &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+			}
+			if !strings.Contains(out.String(), "replayed byte-identically") {
+				t.Errorf("verify output missing identity line:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// The counterfactual artifact is byte-identical whether the sweep ran
+// sequentially or fanned out across 8 workers — same contract as every
+// smartconf-bench artifact.
+func TestArtifactByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	in := writeEnvelope(t, "HB3813", 3)
+	prev := engine.Workers()
+	defer engine.SetWorkers(prev)
+	render := func(workers string) string {
+		experiments.ResetRunCache()
+		var out, errb bytes.Buffer
+		args := []string{"-in", in, "-pole", "0.5,0.9,0.95", "-from", "2", "-parallel", workers}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+		}
+		return out.String()
+	}
+	seq := render("1")
+	par := render("8")
+	experiments.ResetRunCache()
+	if seq != par {
+		t.Fatalf("artifact differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "artifact fingerprint") || !strings.Contains(seq, "pole=0.9") {
+		t.Fatalf("artifact missing expected rows:\n%s", seq)
+	}
+}
+
+// A warm -cachedir rebuild executes zero simulations: every counterfactual
+// cell (and the baseline) comes back from disk, and the artifact matches the
+// cold build exactly.
+func TestWarmCacheDirRebuildsWithoutSimulating(t *testing.T) {
+	in := writeEnvelope(t, "HB2149", 4)
+	dir := t.TempDir()
+	experiments.ResetRunCache()
+	defer func() {
+		experiments.EnablePersistentRunCache("")
+		experiments.ResetRunCache()
+	}()
+
+	runOnce := func() string {
+		var out, errb bytes.Buffer
+		args := []string{"-in", in, "-pole", "0.5,0.9", "-cachedir", dir}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+		}
+		return out.String()
+	}
+	cold := runOnce()
+	execCold, _ := experiments.RunCacheStats()
+	if execCold == 0 {
+		t.Fatal("cold build executed no simulations")
+	}
+
+	// A fresh process is emulated by dropping the in-memory cache; the disk
+	// layer (already enabled on dir) must satisfy every run.
+	experiments.ResetRunCache()
+	warm := runOnce()
+	if exec, _ := experiments.RunCacheStats(); exec != 0 {
+		t.Errorf("warm rebuild executed %d simulations, want 0", exec)
+	}
+	if loaded, _ := experiments.PersistentRunCacheStats(); loaded == 0 {
+		t.Error("warm rebuild loaded nothing from the disk cache")
+	}
+	if warm != cold {
+		t.Errorf("warm artifact differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+}
+
+func TestOutFlagWritesArtifact(t *testing.T) {
+	in := writeEnvelope(t, "HB3813", 3)
+	outPath := filepath.Join(t.TempDir(), "delta.txt")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-in", in, "-pole", "0.9", "-out", outPath}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-out still wrote the artifact to stdout:\n%s", out.String())
+	}
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "Counterfactual replay") {
+		t.Errorf("artifact file missing header:\n%s", b)
+	}
+}
+
+func TestUsageAndInputErrors(t *testing.T) {
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not an envelope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	valid := writeEnvelope(t, "HB3813", 2)
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no args", nil, 2},
+		{"missing in", []string{"-verify"}, 2},
+		{"no action", []string{"-in", valid}, 2},
+		{"bad pole syntax", []string{"-in", valid, "-pole", "0.9,oops"}, 2},
+		{"unstable pole", []string{"-in", valid, "-pole", "1.5"}, 2},
+		{"unknown flag", []string{"-in", valid, "-frobnicate"}, 2},
+		{"nonexistent file", []string{"-in", filepath.Join(t.TempDir(), "nope.json"), "-verify"}, 1},
+		{"unparseable file", []string{"-in", garbage, "-verify"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != tc.code {
+				t.Errorf("exit %d, want %d; stderr:\n%s", code, tc.code, errb.String())
+			}
+		})
+	}
+}
+
+func TestBuildPerturbs(t *testing.T) {
+	got, err := buildPerturbs("0.5, 0.9", 3, math.NaN(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []declog.Perturb{
+		{FromPeriod: 3, SetPole: true, Pole: 0.5},
+		{FromPeriod: 3, SetPole: true, Pole: 0.9},
+		{FromPeriod: 3, SetMax: true, Max: 40},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d perturbs, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("perturb %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if ps, err := buildPerturbs("", 1, math.NaN(), math.NaN()); err != nil || len(ps) != 0 {
+		t.Errorf("empty flags: got %v, %v", ps, err)
+	}
+}

@@ -134,6 +134,12 @@ func New(spec Spec, profile *Profile, opts ...Option) (*Conf, error) {
 	if spec.Adaptive {
 		ctrl.EnableAdaptation(spec.Forgetting)
 	}
+	if o.declog != nil {
+		ctrl.AttachLog(o.declog, spec.Name)
+	}
+	if o.perturb != nil {
+		ctrl.SetPerturb(*o.perturb)
+	}
 	c := newConf(spec, ctrl, o)
 	c.adaptiveEnabled = spec.Adaptive
 	return c, nil

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"smartconf/internal/cluster"
+	"smartconf/internal/declog"
 	"smartconf/internal/metrics"
 	"smartconf/internal/sim"
 )
@@ -96,6 +97,14 @@ var gated = []struct {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			l.Observe(time.Duration(i%1000) * time.Microsecond)
+		}
+	}},
+	{"smartconf/internal/declog.BenchmarkDeclogAppend", func(b *testing.B) {
+		l := declog.New(4096)
+		src := l.Register("gate")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.Append(declog.Record{Source: src, Period: uint32(i + 1), Sensed: float64(i), Err: 1, Pole: 0.5, Raw: 2, Applied: 2})
 		}
 	}},
 	{"smartconf/internal/cluster.BenchmarkRouterRoute", func(b *testing.B) {

@@ -5,17 +5,19 @@ import (
 	"os"
 	"testing"
 
+	"smartconf/internal/declog"
 	"smartconf/internal/experiments"
 )
 
 // The whole-run gate: where gate_test.go replays micro-op benchmarks, this
 // test drives each substrate's actual -scale run — workload generator,
-// simulator, substrate, sensors — and enforces the raw-speed engine's
-// contract end to end. Allocations are strict on the request-pooled
-// substrates: after a warm-up prefix, a window of tens of thousands of
-// requests must allocate NOTHING, the property that lets a 10M-request
-// campaign finish in seconds. Requests/sec is advisory against the recorded
-// baseline, like ns/op in the micro gate.
+// simulator, substrate, sensors, and a shadow decision-logging controller —
+// and enforces the raw-speed engine's contract end to end. Allocations are
+// strict on the request-pooled substrates: after a warm-up prefix, a window
+// of tens of thousands of requests must allocate NOTHING — with decision
+// logging enabled — the property that lets a 10M-request campaign finish in
+// seconds and the decision log stay on in production. Requests/sec is
+// advisory against the recorded baseline, like ns/op in the micro gate.
 
 const (
 	// wholeRunWarm is the prefix that grows every queue, free list, and
@@ -65,9 +67,13 @@ func TestWholeRunVsBaseline(t *testing.T) {
 			t.Errorf("%s: whole-run gate has no baseline entry — record one", g.key)
 			continue
 		}
-		r := experiments.NewScaleRunner(g.substrate)
+		log := declog.New(4096)
+		r := experiments.NewLoggedScaleRunner(g.substrate, log)
 		total := int64(wholeRunWarm)
 		r.RunTo(total)
+		if log.Total() == 0 {
+			t.Errorf("%s: shadow controller logged no decisions over the warm-up — the gate is not exercising the decision log", g.key)
+		}
 
 		if g.strict {
 			allocs := testing.AllocsPerRun(3, func() {
@@ -75,7 +81,7 @@ func TestWholeRunVsBaseline(t *testing.T) {
 				r.RunTo(total)
 			})
 			if allocs != 0 {
-				t.Errorf("%s: %.1f allocs per %d-request steady-state window, want 0 — a new allocation crept onto the request path",
+				t.Errorf("%s: %.1f allocs per %d-request steady-state window (decision logging on), want 0 — a new allocation crept onto the request path",
 					g.key, allocs, wholeRunWindow)
 			}
 		}

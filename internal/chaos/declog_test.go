@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"smartconf/internal/declog"
+	"smartconf/internal/sim"
+)
+
+// A crash resynthesis must advance the decision log's goal epoch: the rebuilt
+// controller restarts its period count at 1, and only the epoch tells its
+// records apart from the pre-crash generation's.
+func TestControllerCrashRestartBumpsLogEpoch(t *testing.T) {
+	s := sim.New()
+	log := declog.New(16)
+	src := log.Register("ctl")
+	period := uint32(0)
+	mkStep := func() func(float64, float64) float64 {
+		period = 0 // a rebuilt controller restarts period numbering
+		return func(perf, _ float64) float64 {
+			period++
+			log.Append(declog.Record{Source: src, Period: period, Sensed: perf})
+			return perf
+		}
+	}
+	l := NewLoop(s, LoopConfig{
+		Sense:   func() (float64, float64) { return 1, 0 },
+		Step:    mkStep(),
+		Actuate: func(float64) {},
+		Rebuild: mkStep,
+		Log:     log,
+	})
+	plan := &Plan{Name: "crash", Seed: 0, Faults: []Fault{
+		ControllerCrash{At: 2 * time.Second, RestartAfter: 3 * time.Second},
+	}}
+	plan.Arm(s, l)
+	tickEvery(s, l, time.Second, 8*time.Second)
+	s.RunUntil(8 * time.Second)
+
+	if l.Restarts() != 1 {
+		t.Fatalf("restarts = %d, want 1", l.Restarts())
+	}
+	if log.Epoch() != 1 {
+		t.Fatalf("log epoch = %d after crash resynthesis, want 1", log.Epoch())
+	}
+	recs := log.Snapshot()
+	var pre, post int
+	for _, r := range recs {
+		switch r.Epoch {
+		case 0:
+			pre++
+		case 1:
+			post++
+		default:
+			t.Fatalf("unexpected epoch %d", r.Epoch)
+		}
+	}
+	if pre == 0 || post == 0 {
+		t.Fatalf("want records in both generations, got %d pre-crash and %d post-crash", pre, post)
+	}
+	// The post-crash generation restarts period numbering at 1.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Epoch == 1 && recs[i-1].Epoch == 0 && recs[i].Period != 1 {
+			t.Fatalf("first post-crash record has period %d, want 1", recs[i].Period)
+		}
+	}
+}
+
+// Without a Rebuild hook nothing is resynthesized, so the epoch must hold.
+func TestRestartWithoutRebuildKeepsEpoch(t *testing.T) {
+	s := sim.New()
+	log := declog.New(4)
+	l := NewLoop(s, LoopConfig{
+		Sense:   func() (float64, float64) { return 1, 0 },
+		Step:    func(perf, _ float64) float64 { return perf },
+		Actuate: func(float64) {},
+		Log:     log,
+	})
+	plan := &Plan{Name: "crash", Seed: 0, Faults: []Fault{
+		ControllerCrash{At: time.Second, RestartAfter: time.Second},
+	}}
+	plan.Arm(s, l)
+	tickEvery(s, l, time.Second, 4*time.Second)
+	s.RunUntil(4 * time.Second)
+	if l.Restarts() != 1 {
+		t.Fatalf("restarts = %d, want 1", l.Restarts())
+	}
+	if log.Epoch() != 0 {
+		t.Fatalf("epoch = %d with no resynthesis, want 0", log.Epoch())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"smartconf/internal/declog"
 	"smartconf/internal/sim"
 )
 
@@ -22,6 +23,10 @@ type LoopConfig struct {
 	// after a crash/restart — the recovering process has lost its in-memory
 	// control state and reconstructs it the same way it was first built.
 	Rebuild func() func(perf, deputy float64) float64
+	// Log, when set, is the run's decision log. A crash resynthesis bumps
+	// its goal epoch: the rebuilt controller restarts period numbering at 1,
+	// and the fresh epoch is what lets replay tell the generations apart.
+	Log *declog.Log
 }
 
 // Loop wires a LoopConfig into the fault pipeline. Substrate hooks call
@@ -121,6 +126,12 @@ func (l *Loop) restart() {
 	l.restarts++
 	if l.cfg.Rebuild != nil {
 		l.cfg.Step = l.cfg.Rebuild()
+		if l.cfg.Log != nil {
+			// The resynthesized controller is a new decision regime: its
+			// period count restarts at 1, so without an epoch bump its
+			// records would be indistinguishable from the pre-crash ones.
+			l.cfg.Log.BumpEpoch()
+		}
 	}
 }
 

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 
 	"smartconf"
+	"smartconf/internal/declog"
 )
 
 // AdmissionControl is the slice of the fleet the coordinator drives: the
@@ -60,6 +62,12 @@ type Coordinator struct {
 	memBound []int
 	latBound []int
 	lastAdm  int
+
+	log        *declog.Log // optional decision log; nil when tracing is off
+	admSrc     declog.Source
+	nodeSrc    []declog.Source
+	applies    []uint32 // per-node layered-bound decision count
+	admApplies uint32
 }
 
 // NewCoordinator wires the control plane. fleetMetric senses the shared
@@ -83,6 +91,20 @@ func NewCoordinator(fleet AdmissionControl, fleetMetric func() float64, admissio
 	return c
 }
 
+// AttachLog makes the coordinator record its fleet-level decisions — the
+// global admission knob and every layered per-node bound — into l, alongside
+// whatever the underlying per-node controllers log themselves (attach those
+// via smartconf.WithDecisionLog at construction).
+func (c *Coordinator) AttachLog(l *declog.Log) {
+	c.log = l
+	c.admSrc = l.Register("fleet.admission")
+	c.nodeSrc = make([]declog.Source, len(c.nodes))
+	c.applies = make([]uint32, len(c.nodes))
+	for i := range c.nodes {
+		c.nodeSrc[i] = l.Register(fmt.Sprintf("fleet.node%d.bound", i))
+	}
+}
+
 // StepMemory runs one hard-goal control round: sense the fleet metric once,
 // feed it to the global admission controller and every live node's memory
 // guard, and re-apply the layered per-node bounds.
@@ -91,11 +113,27 @@ func (c *Coordinator) StepMemory() {
 	if c.admission != nil {
 		c.admission.SetPerf(m, c.fleet.TotalLoad())
 		a := c.admission.Conf()
+		raw := a
 		if a < 0 {
 			a = 0
 		}
 		c.lastAdm = a
 		c.fleet.SetMaxInFlight(a)
+		if c.log != nil {
+			reason := declog.ClampNone
+			if raw < 0 {
+				reason = declog.ClampMin
+			}
+			c.admApplies++
+			c.log.Append(declog.Record{
+				Source:  c.admSrc,
+				Period:  c.admApplies,
+				Clamp:   reason,
+				Sensed:  m,
+				Raw:     float64(raw),
+				Applied: float64(a),
+			})
+		}
 	}
 	for i := range c.nodes {
 		n := &c.nodes[i]
@@ -128,13 +166,36 @@ func (c *Coordinator) apply(i int) {
 		return
 	}
 	b := c.memBound[i]
+	layered := false
 	if c.latBound[i] < b {
 		b = c.latBound[i]
+		layered = true
 	}
+	raw := b
 	if b < 0 {
 		b = 0
 	}
 	n.Apply(b)
+	if c.log != nil {
+		// The layered bound is itself a decision worth replaying: which
+		// controller's proposal won, and whether the floor rescued it.
+		reason := declog.ClampNone
+		switch {
+		case raw < 0:
+			reason = declog.ClampMin
+		case layered:
+			reason = declog.ClampLayered
+		}
+		c.applies[i]++
+		c.log.Append(declog.Record{
+			Source:  c.nodeSrc[i],
+			Period:  c.applies[i],
+			Clamp:   reason,
+			Sensed:  float64(c.memBound[i]),
+			Raw:     float64(raw),
+			Applied: float64(b),
+		})
+	}
 }
 
 // Bound returns node i's currently layered bound min(memory, latency).

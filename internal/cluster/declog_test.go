@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"testing"
+
+	"smartconf/internal/declog"
+)
+
+// The coordinator's fleet-level decisions — the admission knob and every
+// layered per-node bound — land in the decision log alongside whatever the
+// per-node controllers record themselves.
+func TestCoordinatorLogsAdmissionAndLayeredBounds(t *testing.T) {
+	inst := &fake{id: 0, alive: true}
+	log := declog.New(64)
+	coord := NewCoordinator(&fakeAdmission{}, func() float64 { return 1000 }, nil, []NodeControl{{
+		Inst:         inst,
+		Memory:       newMemGuard(t),
+		Deputy:       func() float64 { return 50 },
+		Latency:      newLatGuard(t),
+		SenseLatency: func() float64 { return 2.0 }, // over the 1.2 goal
+		Apply:        func(int) {},
+	}})
+	coord.AttachLog(log)
+
+	coord.StepMemory()  // memory slack: its own proposal wins
+	coord.StepLatency() // latency overshoot undercuts it: layered
+
+	recs := log.Snapshot()
+	var bound []declog.Record
+	for _, r := range recs {
+		if log.Sources()[r.Source] == "fleet.node0.bound" {
+			bound = append(bound, r)
+		}
+	}
+	if len(bound) != 2 {
+		t.Fatalf("%d node-bound records, want 2 (one per step)", len(bound))
+	}
+	if bound[0].Period != 1 || bound[1].Period != 2 {
+		t.Fatalf("bound periods %d,%d; want 1,2", bound[0].Period, bound[1].Period)
+	}
+	if bound[0].Clamp != declog.ClampNone {
+		t.Errorf("first bound clamp = %v, want none (memory proposal wins alone)", bound[0].Clamp)
+	}
+	if bound[1].Clamp != declog.ClampLayered {
+		t.Errorf("second bound clamp = %v, want layered (latency undercuts memory)", bound[1].Clamp)
+	}
+	if bound[1].Applied != float64(coord.Bound(0)) {
+		t.Errorf("logged applied %v != live bound %d", bound[1].Applied, coord.Bound(0))
+	}
+}
+
+func TestCoordinatorLogsAdmissionFloor(t *testing.T) {
+	adm := newMemGuard(t) // reuse the indirect guard as an admission knob
+	log := declog.New(16)
+	fl := &fakeAdmission{load: 50}
+	metric := 5000.0 // far over the 1100 goal: the knob slams to its floor
+	coord := NewCoordinator(fl, func() float64 { return metric }, adm, nil)
+	coord.AttachLog(log)
+	coord.StepMemory()
+	coord.StepMemory()
+
+	recs := log.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("%d admission records, want 2", len(recs))
+	}
+	names := log.Sources()
+	for i, r := range recs {
+		if names[r.Source] != "fleet.admission" {
+			t.Fatalf("record %d from %q, want fleet.admission", i, names[r.Source])
+		}
+		if r.Period != uint32(i+1) {
+			t.Errorf("record %d period %d, want %d", i, r.Period, i+1)
+		}
+		if r.Sensed != metric {
+			t.Errorf("record %d sensed %v, want %v", i, r.Sensed, metric)
+		}
+		if r.Applied != float64(coord.Admission()) && i == len(recs)-1 {
+			t.Errorf("last record applied %v != live admission %d", r.Applied, coord.Admission())
+		}
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"smartconf/internal/declog"
 )
 
 // Bound is the direction of a performance constraint.
@@ -74,6 +76,11 @@ type Controller struct {
 	lastPole  float64
 	updates   int
 	saturated int // consecutive updates pinned at a bound with persistent error
+
+	log       *declog.Log   // optional decision log; nil when tracing is off
+	logSrc    declog.Source // this controller's source id in log
+	perturb   declog.Perturb
+	perturbed bool
 }
 
 // Synthesize builds a controller from a profiling run and a goal, deriving
@@ -175,8 +182,29 @@ func (c *Controller) Update(measured float64) float64 {
 		pole = 0
 	}
 
+	// Counterfactual replay (cmd/smartconf-replay): from the perturbation's
+	// start period onward, pin the pole and/or move the clamp bounds. Periods
+	// are 1-based and this update is c.updates+1, so the perturbation covers
+	// it once c.updates+1 >= FromPeriod.
+	minB, maxB := c.min, c.max
+	if c.perturbed && uint32(c.updates)+1 >= c.perturb.FromPeriod {
+		if c.perturb.SetPole && !math.IsNaN(c.perturb.Pole) {
+			pole = c.perturb.Pole
+		}
+		if c.perturb.SetMin && !math.IsNaN(c.perturb.Min) {
+			minB = c.perturb.Min
+		}
+		if c.perturb.SetMax && !math.IsNaN(c.perturb.Max) {
+			maxB = c.perturb.Max
+		}
+		if maxB < minB {
+			maxB = minB
+		}
+	}
+
 	delta := (1 - pole) / (c.interaction * alpha) * e
 	raw := c.conf + delta
+	reason := declog.ClampNone
 	if math.IsNaN(raw) {
 		// Only reachable with an unbounded actuator: a ±∞ knob being
 		// corrected by an opposite ±∞ step. Saturate in the step's direction
@@ -185,21 +213,38 @@ func (c *Controller) Update(measured float64) float64 {
 		if delta < 0 {
 			raw = math.Inf(-1)
 		}
+		reason = declog.ClampNonFinite
 	}
-	next := clamp(raw, c.min, c.max)
+	next := clamp(raw, minB, maxB)
 
 	// Track saturation so the owner can raise an "unreachable goal" alert:
 	// the controller keeps asking for a value beyond an actuator bound.
-	if raw > c.max || raw < c.min {
+	clamped := ClassifyClamp(raw, minB, maxB)
+	if clamped == declog.ClampMin || clamped == declog.ClampMax {
 		c.saturated++
 	} else {
 		c.saturated = 0
+	}
+	if reason == declog.ClampNone {
+		reason = clamped
 	}
 
 	c.conf = next
 	c.lastErr = e
 	c.lastPole = pole
 	c.updates++
+	if c.log != nil {
+		c.log.Append(declog.Record{
+			Source:  c.logSrc,
+			Period:  uint32(c.updates),
+			Clamp:   reason,
+			Sensed:  measured,
+			Err:     e,
+			Pole:    pole,
+			Raw:     raw,
+			Applied: next,
+		})
+	}
 	return c.conf
 }
 
@@ -218,10 +263,30 @@ func (c *Controller) Conf() float64 { return c.conf }
 func (c *Controller) SetConf(v float64) { c.conf = clamp(v, c.min, c.max) }
 
 // SetGoal replaces the goal target at run time (the public setGoal API) and
-// recomputes the virtual goal from the profiled λ.
+// recomputes the virtual goal from the profiled λ. With a decision log
+// attached the goal epoch advances, so replay can tell the regimes apart.
 func (c *Controller) SetGoal(target float64) {
 	c.goal.Target = target
 	c.recomputeVirtualGoal()
+	if c.log != nil {
+		c.log.BumpEpoch()
+	}
+}
+
+// AttachLog makes the controller record every Update into l under the given
+// producer name. Registration is idempotent by name, so a controller
+// resynthesized after a crash reattaches to its pre-crash source id.
+func (c *Controller) AttachLog(l *declog.Log, name string) {
+	c.log = l
+	c.logSrc = l.Register(name)
+}
+
+// SetPerturb arms (or, with a zero perturbation, disarms) a counterfactual
+// decision edit — the offline replay tool's hook. Production paths never
+// call this.
+func (c *Controller) SetPerturb(p declog.Perturb) {
+	c.perturb = p
+	c.perturbed = !p.Zero()
 }
 
 // SetInteraction updates the §5.4 factor when configurations join or leave a

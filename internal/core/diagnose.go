@@ -2,7 +2,27 @@ package core
 
 import (
 	"fmt"
+	"math"
+
+	"smartconf/internal/declog"
 )
+
+// ClassifyClamp names what the actuator clamp did to a raw Eq. 2 output
+// against the bounds [min, max]: nothing, a floor, a ceiling, or a rescue
+// from a non-finite value. It is the single classification used both by the
+// controller's saturation alert and by every decision-log record, so the
+// diagnosis a developer reads matches the clamp the replay tool re-executes.
+func ClassifyClamp(raw, min, max float64) declog.ClampReason {
+	switch {
+	case math.IsNaN(raw):
+		return declog.ClampNonFinite
+	case raw < min:
+		return declog.ClampMin
+	case raw > max:
+		return declog.ClampMax
+	}
+	return declog.ClampNone
+}
 
 // Diagnosis is a warning about profiling data that predicts a poorly
 // behaved controller. SmartConf still synthesizes (the controller is robust

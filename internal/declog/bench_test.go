@@ -1,0 +1,28 @@
+package declog
+
+import "testing"
+
+// Gated in internal/benchgate at 0 allocs/op: the production decision log
+// must be cheap enough to stay enabled under full load.
+func BenchmarkDeclogAppend(b *testing.B) {
+	l := New(4096)
+	src := l.Register("gate")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Append(Record{Source: src, Period: uint32(i + 1), Sensed: float64(i), Err: 1, Pole: 0.5, Raw: 2, Applied: 2})
+	}
+}
+
+func TestAppendZeroAllocs(t *testing.T) {
+	l := New(64)
+	src := l.Register("ctl")
+	p := uint32(0)
+	avg := testing.AllocsPerRun(100, func() {
+		p++
+		l.Append(Record{Source: src, Period: p, Sensed: 1, Err: 2, Pole: 0.9, Raw: 3, Applied: 3})
+	})
+	if avg != 0 {
+		t.Errorf("Append allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,150 @@
+package declog
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAppendAndSnapshotOrder(t *testing.T) {
+	l := New(4)
+	src := l.Register("ctl")
+	for i := 1; i <= 3; i++ {
+		l.Append(Record{Source: src, Period: uint32(i), Sensed: float64(i)})
+	}
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("Len = %d, want 3", len(got))
+	}
+	for i, r := range got {
+		if r.Period != uint32(i+1) {
+			t.Fatalf("record %d has period %d, want %d", i, r.Period, i+1)
+		}
+	}
+	if l.Total() != 3 {
+		t.Errorf("Total = %d, want 3", l.Total())
+	}
+}
+
+func TestRingWraparoundKeepsNewest(t *testing.T) {
+	l := New(4)
+	src := l.Register("ctl")
+	for i := 1; i <= 10; i++ {
+		l.Append(Record{Source: src, Period: uint32(i)})
+	}
+	got := l.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("Len = %d, want 4", len(got))
+	}
+	for i, want := range []uint32{7, 8, 9, 10} {
+		if got[i].Period != want {
+			t.Errorf("record %d has period %d, want %d", i, got[i].Period, want)
+		}
+	}
+	if l.Total() != 10 {
+		t.Errorf("Total = %d, want 10", l.Total())
+	}
+	if l.Len() != 4 || l.Cap() != 4 {
+		t.Errorf("Len/Cap = %d/%d, want 4/4", l.Len(), l.Cap())
+	}
+}
+
+func TestEpochStamping(t *testing.T) {
+	l := New(8)
+	src := l.Register("ctl")
+	l.Append(Record{Source: src, Period: 1})
+	l.BumpEpoch()
+	l.Append(Record{Source: src, Period: 2})
+	l.BumpEpoch()
+	l.Append(Record{Source: src, Period: 3, Epoch: 99}) // caller value is overwritten
+	got := l.Snapshot()
+	for i, want := range []uint32{0, 1, 2} {
+		if got[i].Epoch != want {
+			t.Errorf("record %d has epoch %d, want %d", i, got[i].Epoch, want)
+		}
+	}
+	if l.Epoch() != 2 {
+		t.Errorf("Epoch = %d, want 2", l.Epoch())
+	}
+}
+
+func TestRegisterIdempotentByName(t *testing.T) {
+	l := New(2)
+	a := l.Register("admission")
+	b := l.Register("memory")
+	if a2 := l.Register("admission"); a2 != a {
+		t.Errorf("re-Register(admission) = %d, want %d", a2, a)
+	}
+	if a == b {
+		t.Errorf("distinct names share source id %d", a)
+	}
+	if got, want := l.Sources(), []string{"admission", "memory"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Sources = %v, want %v", got, want)
+	}
+}
+
+func TestSourcesEmptyIsNil(t *testing.T) {
+	if got := New(1).Sources(); got != nil {
+		t.Errorf("Sources on fresh log = %v, want nil", got)
+	}
+	if got := New(1).Snapshot(); got != nil {
+		t.Errorf("Snapshot on fresh log = %v, want nil", got)
+	}
+}
+
+func TestSnapshotDoesNotAliasRing(t *testing.T) {
+	l := New(2)
+	src := l.Register("ctl")
+	l.Append(Record{Source: src, Period: 1, Sensed: 10})
+	snap := l.Snapshot()
+	l.Append(Record{Source: src, Period: 2, Sensed: 20})
+	l.Append(Record{Source: src, Period: 3, Sensed: 30})
+	if snap[0].Sensed != 10 {
+		t.Errorf("snapshot mutated by later appends: Sensed = %v", snap[0].Sensed)
+	}
+}
+
+func TestResetKeepsRegistrations(t *testing.T) {
+	l := New(4)
+	src := l.Register("ctl")
+	l.Append(Record{Source: src, Period: 1})
+	l.BumpEpoch()
+	l.Reset()
+	if l.Len() != 0 || l.Total() != 0 || l.Epoch() != 0 {
+		t.Errorf("post-Reset Len/Total/Epoch = %d/%d/%d, want zeros", l.Len(), l.Total(), l.Epoch())
+	}
+	if got := l.Register("ctl"); got != src {
+		t.Errorf("Register after Reset = %d, want surviving id %d", got, src)
+	}
+	l.Append(Record{Source: src, Period: 1})
+	if l.Len() != 1 {
+		t.Errorf("append after Reset: Len = %d, want 1", l.Len())
+	}
+}
+
+func TestNewClampsTinyCapacity(t *testing.T) {
+	for _, c := range []int{-5, 0, 1} {
+		if got := New(c).Cap(); got != 1 && got != c {
+			t.Errorf("New(%d).Cap() = %d", c, got)
+		}
+	}
+	if got := New(0).Cap(); got != 1 {
+		t.Errorf("New(0).Cap() = %d, want 1", got)
+	}
+}
+
+func TestClampReasonStrings(t *testing.T) {
+	cases := map[ClampReason]string{
+		ClampNone:       "none",
+		ClampMin:        "min",
+		ClampMax:        "max",
+		ClampNonFinite:  "non-finite",
+		ClampLayered:    "layered",
+		numClampReasons: "invalid",
+		ClampReason(42): "invalid",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("ClampReason(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package declog
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// FormatVersion stamps every serialized decision log; bump it whenever the
+// envelope layout changes so stale files become clean parse errors instead
+// of silent misreads.
+const FormatVersion = "smartconf-declog/1"
+
+// Envelope is the on-disk form of a logged run: the run coordinates that
+// reproduce it in the deterministic engine, the source name table, and the
+// ring's surviving records oldest-first. Field order is fixed by the struct
+// declaration, so the encoded bytes are a pure function of the value — the
+// same discipline as the disk run cache (no gob, no wall clock), which is
+// what makes zero-perturbation replays byte-comparable.
+type Envelope struct {
+	Format    string `json:"format"`
+	Substrate string `json:"substrate"`
+	Plan      string `json:"plan"`
+	Seed      int64  `json:"seed"`
+	// Capacity is the capture ring's size. Replays must use the same
+	// capacity so both rings truncate to the same suffix.
+	Capacity int `json:"capacity"`
+	// Total counts every append of the run, including records the ring has
+	// overwritten; len(Records) is the surviving suffix.
+	Total uint64 `json:"total"`
+	// Epoch is the final goal epoch (number of goal changes + resyntheses).
+	Epoch uint32 `json:"epoch"`
+	// Fingerprint is the run's trajectory fingerprint
+	// (proptest.Report.Fingerprint), tying the log to the observable run.
+	Fingerprint string   `json:"fingerprint"`
+	Sources     []string `json:"sources"`
+	Records     []Record `json:"records"`
+}
+
+// Envelope freezes the log into its serializable form under the given run
+// coordinates.
+func (l *Log) Envelope(substrate, plan string, seed int64, fingerprint string) Envelope {
+	recs := l.Snapshot()
+	return Envelope{
+		Format:      FormatVersion,
+		Substrate:   substrate,
+		Plan:        plan,
+		Seed:        seed,
+		Capacity:    l.Cap(),
+		Total:       l.Total(),
+		Epoch:       l.Epoch(),
+		Fingerprint: fingerprint,
+		Sources:     l.Sources(),
+		Records:     recs,
+	}
+}
+
+// Encode serializes an envelope deterministically. It fails (rather than
+// emitting unparseable bytes) when a record holds a non-finite float — only
+// reachable from controllers with unbounded actuators.
+func Encode(env Envelope) ([]byte, error) {
+	for i, r := range env.Records {
+		for _, v := range [...]float64{r.Sensed, r.Err, r.Pole, r.Raw, r.Applied} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("declog: record %d holds non-finite value %v; JSON cannot carry it", i, v)
+			}
+		}
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("declog: encoding envelope: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Parse deserializes and validates an envelope. Any defect — malformed JSON,
+// a wrong format stamp, a record pointing outside the source table, an
+// impossible counter — is an error, never a panic: the analyzer treats a bad
+// file as a clean miss.
+func Parse(b []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return Envelope{}, fmt.Errorf("declog: parsing envelope: %w", err)
+	}
+	if env.Format != FormatVersion {
+		return Envelope{}, fmt.Errorf("declog: format %q, want %q", env.Format, FormatVersion)
+	}
+	if env.Substrate == "" || env.Plan == "" {
+		return Envelope{}, fmt.Errorf("declog: envelope missing run coordinates (substrate %q, plan %q)", env.Substrate, env.Plan)
+	}
+	if env.Capacity < 1 {
+		return Envelope{}, fmt.Errorf("declog: capacity %d < 1", env.Capacity)
+	}
+	if len(env.Records) > env.Capacity {
+		return Envelope{}, fmt.Errorf("declog: %d records exceed ring capacity %d", len(env.Records), env.Capacity)
+	}
+	if env.Total < uint64(len(env.Records)) {
+		return Envelope{}, fmt.Errorf("declog: total %d < %d surviving records", env.Total, len(env.Records))
+	}
+	seen := make(map[string]bool, len(env.Sources))
+	for i, name := range env.Sources {
+		if name == "" {
+			return Envelope{}, fmt.Errorf("declog: source %d has an empty name", i)
+		}
+		if seen[name] {
+			return Envelope{}, fmt.Errorf("declog: duplicate source name %q", name)
+		}
+		seen[name] = true
+	}
+	for i, r := range env.Records {
+		if int(r.Source) >= len(env.Sources) {
+			return Envelope{}, fmt.Errorf("declog: record %d references source %d of %d", i, r.Source, len(env.Sources))
+		}
+		if r.Clamp >= numClampReasons {
+			return Envelope{}, fmt.Errorf("declog: record %d has invalid clamp reason %d", i, r.Clamp)
+		}
+		if r.Period == 0 {
+			return Envelope{}, fmt.Errorf("declog: record %d has period 0; periods are 1-based", i)
+		}
+		if r.Epoch > env.Epoch {
+			return Envelope{}, fmt.Errorf("declog: record %d epoch %d exceeds envelope epoch %d", i, r.Epoch, env.Epoch)
+		}
+	}
+	return env, nil
+}

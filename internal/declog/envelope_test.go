@@ -1,0 +1,137 @@
+package declog
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleLog() *Log {
+	l := New(4)
+	a := l.Register("admission")
+	b := l.Register("memory")
+	l.Append(Record{Source: a, Period: 1, Clamp: ClampNone, Sensed: 120, Err: -20, Pole: 0.95, Raw: 48.5, Applied: 48.5})
+	l.BumpEpoch()
+	l.Append(Record{Source: b, Period: 1, Clamp: ClampMax, Sensed: 80, Err: 20, Pole: 0, Raw: 6000, Applied: 5000})
+	return l
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env := sampleLog().Envelope("HB3813", "gen", 7, "fp-abc")
+	b, err := Encode(env)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, env)
+	}
+	// Determinism: encoding the parsed envelope reproduces the bytes.
+	b2, err := Encode(got)
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("re-encoded bytes differ:\n %s\n %s", b, b2)
+	}
+}
+
+// The byte layout is part of the format: replays compare envelopes byte for
+// byte, so field order must never silently change.
+func TestEncodeFixedFieldOrder(t *testing.T) {
+	l := New(2)
+	src := l.Register("ctl")
+	l.Append(Record{Source: src, Period: 1, Clamp: ClampMin, Sensed: 1, Err: 2, Pole: 0.5, Raw: -3, Applied: 0})
+	b, err := Encode(l.Envelope("HB2149", "gen", 1, "fp"))
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	want := `{"format":"smartconf-declog/1","substrate":"HB2149","plan":"gen","seed":1,"capacity":2,"total":1,"epoch":0,"fingerprint":"fp","sources":["ctl"],"records":[{"src":0,"period":1,"epoch":0,"clamp":1,"sensed":1,"err":2,"pole":0.5,"raw":-3,"applied":0}]}` + "\n"
+	if string(b) != want {
+		t.Errorf("encoded bytes:\n got %s\nwant %s", b, want)
+	}
+}
+
+func TestEncodeRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		env := sampleLog().Envelope("HB3813", "gen", 7, "fp")
+		env.Records[0].Raw = bad
+		if _, err := Encode(env); err == nil {
+			t.Errorf("Encode accepted raw=%v", bad)
+		}
+	}
+}
+
+func TestParseRejectsDefects(t *testing.T) {
+	valid := func() Envelope { return sampleLog().Envelope("HB3813", "gen", 7, "fp") }
+	cases := []struct {
+		name   string
+		mutate func(*Envelope)
+		substr string
+	}{
+		{"wrong format", func(e *Envelope) { e.Format = "smartconf-declog/0" }, "format"},
+		{"missing substrate", func(e *Envelope) { e.Substrate = "" }, "coordinates"},
+		{"missing plan", func(e *Envelope) { e.Plan = "" }, "coordinates"},
+		{"zero capacity", func(e *Envelope) { e.Capacity = 0 }, "capacity"},
+		{"records over capacity", func(e *Envelope) { e.Capacity = 1 }, "exceed"},
+		{"total below records", func(e *Envelope) { e.Total = 1 }, "total"},
+		{"empty source name", func(e *Envelope) { e.Sources[0] = "" }, "empty name"},
+		{"duplicate source name", func(e *Envelope) { e.Sources[1] = e.Sources[0] }, "duplicate"},
+		{"source out of range", func(e *Envelope) { e.Records[0].Source = 9 }, "references source"},
+		{"invalid clamp", func(e *Envelope) { e.Records[0].Clamp = numClampReasons }, "clamp"},
+		{"zero period", func(e *Envelope) { e.Records[0].Period = 0 }, "period 0"},
+		{"record epoch beyond envelope", func(e *Envelope) { e.Records[1].Epoch = 5 }, "exceeds envelope epoch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env := valid()
+			tc.mutate(&env)
+			b, err := Encode(env)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			_, err = Parse(b)
+			if err == nil {
+				t.Fatal("Parse accepted defective envelope")
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("error %q does not mention %q", err, tc.substr)
+			}
+		})
+	}
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Error("Parse accepted malformed JSON")
+	}
+}
+
+func TestPerturbZeroAndKey(t *testing.T) {
+	if !(Perturb{}).Zero() {
+		t.Error("zero-value Perturb is not Zero")
+	}
+	if (Perturb{FromPeriod: 50}).Zero() != true {
+		t.Error("FromPeriod alone should still be Zero (nothing to apply)")
+	}
+	cases := []struct {
+		p    Perturb
+		want string
+	}{
+		{Perturb{}, "none"},
+		{Perturb{SetPole: true, Pole: 0.9}, "pole=0.90000000000000002@1"},
+		{Perturb{SetPole: true, Pole: 0.5, FromPeriod: 12}, "pole=0.5@12"},
+		{Perturb{SetMin: true, Min: 2, SetMax: true, Max: 100, FromPeriod: 3}, "min=2,max=100@3"},
+		{Perturb{SetPole: true, Pole: 0, SetMin: true, Min: 1, SetMax: true, Max: 8, FromPeriod: 1}, "pole=0,min=1,max=8@1"},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Key(); got != tc.want {
+			t.Errorf("Key(%+v) = %q, want %q", tc.p, got, tc.want)
+		}
+		if tc.p.String() != tc.p.Key() {
+			t.Errorf("String != Key for %+v", tc.p)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package declog
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseDecisionLog drives the envelope codec with arbitrary bytes: any
+// defect must surface as a clean parse error, never a panic, and every
+// accepted envelope must survive an Encode→Parse round trip byte-identically.
+func FuzzParseDecisionLog(f *testing.F) {
+	if b, err := Encode(sampleLog().Envelope("HB3813", "gen", 7, "fp-abc")); err == nil {
+		f.Add(b)
+	}
+	if b, err := Encode(New(1).Envelope("LLMKV", "crash-restart", -3, "")); err == nil {
+		f.Add(b)
+	}
+	wrapped := New(2)
+	src := wrapped.Register("ctl")
+	for i := 1; i <= 5; i++ {
+		wrapped.BumpEpoch()
+		wrapped.Append(Record{Source: src, Period: uint32(i), Sensed: float64(i) * 1.5, Raw: -0.25, Clamp: ClampMin})
+	}
+	if b, err := Encode(wrapped.Envelope("MR2820", "burst", 1<<40, "deadbeef")); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format":"smartconf-declog/1"}`))
+	f.Add([]byte(`{"format":"smartconf-declog/1","substrate":"X","plan":"p","capacity":1,"records":[{"src":7,"period":1}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Parse(data)
+		if err != nil {
+			return // clean miss
+		}
+		b, err := Encode(env)
+		if err != nil {
+			// Parse never admits non-finite floats (JSON cannot carry them),
+			// so an accepted envelope must always re-encode.
+			t.Fatalf("accepted envelope failed to re-encode: %v", err)
+		}
+		env2, err := Parse(b)
+		if err != nil {
+			t.Fatalf("re-encoded envelope failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(env, env2) {
+			t.Fatalf("round trip changed envelope:\n %+v\n %+v", env, env2)
+		}
+		b2, err := Encode(env2)
+		if err != nil {
+			t.Fatalf("second Encode: %v", err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("encoding is not a fixed point:\n %s\n %s", b, b2)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package declog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Perturb is a counterfactual edit applied to every controller decision from
+// a given period onward: pin the pole, or move a clamp bound, and let the
+// deterministic engine re-run the whole closed loop. The zero value means
+// "replay exactly as logged".
+//
+// Periods are per-controller-generation: a controller resynthesized after a
+// crash restarts its period count at 1, so FromPeriod re-arms on the rebuilt
+// controller too.
+type Perturb struct {
+	// FromPeriod is the first 1-based decision period the edit applies to.
+	// 0 and 1 both mean "from the first decision".
+	FromPeriod uint32 `json:"from_period"`
+	// SetPole pins the pole to Pole, overriding the two-pole danger-region
+	// switch.
+	SetPole bool    `json:"set_pole"`
+	Pole    float64 `json:"pole"`
+	// SetMin / SetMax override the actuator clamp bounds.
+	SetMin bool    `json:"set_min"`
+	Min    float64 `json:"min"`
+	SetMax bool    `json:"set_max"`
+	Max    float64 `json:"max"`
+}
+
+// Zero reports whether the perturbation edits nothing.
+func (p Perturb) Zero() bool {
+	return !p.SetPole && !p.SetMin && !p.SetMax
+}
+
+// Key renders the perturbation as a deterministic, human-readable token used
+// in run-cache keys and artifact rows. Equal perturbations render equal keys.
+func (p Perturb) Key() string {
+	if p.Zero() {
+		return "none"
+	}
+	parts := make([]string, 0, 3)
+	if p.SetPole {
+		parts = append(parts, fmt.Sprintf("pole=%.17g", p.Pole))
+	}
+	if p.SetMin {
+		parts = append(parts, fmt.Sprintf("min=%.17g", p.Min))
+	}
+	if p.SetMax {
+		parts = append(parts, fmt.Sprintf("max=%.17g", p.Max))
+	}
+	from := p.FromPeriod
+	if from == 0 {
+		from = 1
+	}
+	return fmt.Sprintf("%s@%d", strings.Join(parts, ","), from)
+}
+
+func (p Perturb) String() string { return p.Key() }

@@ -63,28 +63,30 @@ type ChaosCell struct {
 // re-simulation, which is sound because cells are deterministic in the key.
 func RunChaosCell(cell ChaosCell) proptest.Report {
 	return memoKeyed("CHAOS-"+cell.Substrate, cell.Fault, "chaos", cell.Seed, func() proptest.Report {
-		return runChaosCell(cell.Substrate, cell.Fault, cell.Seed)
+		return runChaosCell(cell.Substrate, cell.Fault, cell.Seed, nil)
 	})
 }
 
 // RunChaosProperty runs a substrate under the seed-generated fault plan,
 // bypassing the run cache: the replay oracle needs two genuine executions.
 func RunChaosProperty(substrate string, seed int64) proptest.Report {
-	return runChaosCell(substrate, ChaosGenerated, seed)
+	return runChaosCell(substrate, ChaosGenerated, seed, nil)
 }
 
-func runChaosCell(substrate, fault string, seed int64) proptest.Report {
+// runChaosCell dispatches one cell; hooks (nil for production cells) carry
+// the decision-log capture ring and/or a counterfactual perturbation.
+func runChaosCell(substrate, fault string, seed int64, hooks *ChaosHooks) proptest.Report {
 	switch substrate {
 	case "HB2149":
-		return runChaosHB2149(fault, seed)
+		return runChaosHB2149(fault, seed, hooks)
 	case "HB3813":
-		return runChaosHB3813(fault, seed)
+		return runChaosHB3813(fault, seed, hooks)
 	case "HD4995":
-		return runChaosHD4995(fault, seed)
+		return runChaosHD4995(fault, seed, hooks)
 	case "LLMKV":
-		return runChaosLLMKV(fault, seed)
+		return runChaosLLMKV(fault, seed, hooks)
 	case "MR2820":
-		return runChaosMR2820(fault, seed)
+		return runChaosMR2820(fault, seed, hooks)
 	}
 	panic(fmt.Sprintf("chaos: unknown substrate %q", substrate))
 }
@@ -263,7 +265,7 @@ func chaosPlanFor(fault string, seed int64, start, dur, horizon time.Duration,
 
 // runChaosHB3813: the RPC server's hard memory goal under fault injection.
 // Plant shift: half the worker pool disappears (drain rate drops).
-func runChaosHB3813(fault string, seed int64) proptest.Report {
+func runChaosHB3813(fault string, seed int64, hooks *ChaosHooks) proptest.Report {
 	const (
 		horizon = 300 * time.Second
 		fStart  = 100 * time.Second
@@ -285,7 +287,7 @@ func runChaosHB3813(fault string, seed int64) proptest.Report {
 			Hard:    true,
 			Initial: 0,
 			Min:     0, Max: 5000,
-		}, publicProfile(ProfileHB3813()), nil)
+		}, publicProfile(ProfileHB3813()), nil, hooks.confOpts()...)
 		if err != nil {
 			panic(fmt.Sprintf("chaos HB3813 synthesis: %v", err))
 		}
@@ -306,6 +308,7 @@ func runChaosHB3813(fault string, seed int64) proptest.Report {
 			ic = newIC()
 			return func(perf, deputy float64) float64 { ic.SetPerf(perf, deputy); return ic.Value() }
 		},
+		Log: hooks.logRef(),
 	})
 	sv.BeforeAdmit = loop.Tick
 
@@ -358,7 +361,7 @@ func runChaosHB3813(fault string, seed int64) proptest.Report {
 
 // runChaosHB2149: the memstore's soft block-time goal under fault injection.
 // Plant shift: the flush drain rate halves (disk contention).
-func runChaosHB2149(fault string, seed int64) proptest.Report {
+func runChaosHB2149(fault string, seed int64, hooks *ChaosHooks) proptest.Report {
 	const (
 		horizon = 300 * time.Second
 		fStart  = 100 * time.Second
@@ -378,7 +381,7 @@ func runChaosHB2149(fault string, seed int64) proptest.Report {
 			Hard:    false,
 			Initial: 0.5,
 			Min:     0.01, Max: 1,
-		}, publicProfile(ProfileHB2149()))
+		}, publicProfile(ProfileHB2149()), hooks.confOpts()...)
 		if err != nil {
 			panic(fmt.Sprintf("chaos HB2149 synthesis: %v", err))
 		}
@@ -396,6 +399,7 @@ func runChaosHB2149(fault string, seed int64) proptest.Report {
 			sc = newSC()
 			return func(perf, _ float64) float64 { sc.SetPerf(perf); return sc.Value() }
 		},
+		Log: hooks.logRef(),
 	})
 	// Gate on a completed flush: the run's first flush has no block
 	// measurement behind it, and feeding the tracker's zero value would hand
@@ -457,7 +461,7 @@ func runChaosHB2149(fault string, seed int64) proptest.Report {
 
 // runChaosHD4995: the namenode's soft lock-hold goal under fault injection.
 // Plant shift: the per-file traversal cost doubles (cold dentry cache).
-func runChaosHD4995(fault string, seed int64) proptest.Report {
+func runChaosHD4995(fault string, seed int64, hooks *ChaosHooks) proptest.Report {
 	const (
 		horizon = 360 * time.Second
 		fStart  = 120 * time.Second
@@ -478,7 +482,7 @@ func runChaosHD4995(fault string, seed int64) proptest.Report {
 			Hard:    false,
 			Initial: 1,
 			Min:     1, Max: 1e7,
-		}, publicProfile(ProfileHD4995()), nil)
+		}, publicProfile(ProfileHD4995()), nil, hooks.confOpts()...)
 		if err != nil {
 			panic(fmt.Sprintf("chaos HD4995 synthesis: %v", err))
 		}
@@ -498,6 +502,7 @@ func runChaosHD4995(fault string, seed int64) proptest.Report {
 			ic = newIC()
 			return func(perf, deputy float64) float64 { ic.SetPerf(perf, deputy); return ic.Value() }
 		},
+		Log: hooks.logRef(),
 	})
 	// Same phantom-measurement gate as HB2149: the first chunk of the run
 	// has no completed hold to report.
@@ -570,7 +575,7 @@ func runChaosHD4995(fault string, seed int64) proptest.Report {
 // injection. Plant shift: the workload swings from long-document
 // summarization (low decode amplification) into bursty chat (every admitted
 // prompt token drags ~3× its size in uncounted decode KV).
-func runChaosLLMKV(fault string, seed int64) proptest.Report {
+func runChaosLLMKV(fault string, seed int64, hooks *ChaosHooks) proptest.Report {
 	const (
 		horizon = 300 * time.Second
 		fStart  = 100 * time.Second
@@ -593,7 +598,7 @@ func runChaosLLMKV(fault string, seed int64) proptest.Report {
 			Hard:    true,
 			Initial: 0,
 			Min:     0, Max: float64(llmHeapCapacity),
-		}, publicProfile(ProfileLLMKV()), smartconf.Scale(1/kvb))
+		}, publicProfile(ProfileLLMKV()), smartconf.Scale(1/kvb), hooks.confOpts()...)
 		if err != nil {
 			panic(fmt.Sprintf("chaos LLMKV synthesis: %v", err))
 		}
@@ -613,6 +618,7 @@ func runChaosLLMKV(fault string, seed int64) proptest.Report {
 			ic = newIC()
 			return func(perf, deputy float64) float64 { ic.SetPerf(perf, deputy); return ic.Value() }
 		},
+		Log: hooks.logRef(),
 	})
 	s.Every(0, 15*time.Second, func() bool {
 		loop.Tick()
@@ -709,7 +715,7 @@ func chaosLLMDrive(s *sim.Simulation, sv *llmserve.Server, phases []workload.LLM
 // injection. Plant shift: the task write rate halves (I/O contention).
 // Surge: the co-tenant band jumps up — the scenario's own disturbance,
 // intensified.
-func runChaosMR2820(fault string, seed int64) proptest.Report {
+func runChaosMR2820(fault string, seed int64, hooks *ChaosHooks) proptest.Report {
 	const (
 		active = 360 * time.Second // fault-placement window basis
 		fStart = 120 * time.Second
@@ -730,7 +736,7 @@ func runChaosMR2820(fault string, seed int64) proptest.Report {
 			Hard:    true,
 			Initial: 512 * float64(mb),
 			Min:     0, Max: 1 << 30,
-		}, publicProfile(ProfileMR2820()))
+		}, publicProfile(ProfileMR2820()), hooks.confOpts()...)
 		if err != nil {
 			panic(fmt.Sprintf("chaos MR2820 synthesis: %v", err))
 		}
@@ -752,6 +758,7 @@ func runChaosMR2820(fault string, seed int64) proptest.Report {
 			sc = newSC()
 			return func(perf, _ float64) float64 { sc.SetPerf(perf); return sc.Value() }
 		},
+		Log: hooks.logRef(),
 	})
 	c.BeforeSchedule = func(w *mapred.Worker, next int64) {
 		curW, curNext = w, next

@@ -31,11 +31,16 @@ var (
 		"runCached": true, "memoResult": true, "memoProfile": true,
 		"memoKeyed": true, "profileSweep": true,
 	}
-	// DiskCachePath is the persistent run-cache package — the one place cache
-	// bytes are encoded. Everything it writes must be a pure, deterministic
-	// function of the (stamp, key, value) triple: no encoding/gob (its map
-	// encoding is randomized per process) and no wall-clock reads.
-	DiskCachePath = "smartconf/internal/experiments/engine/diskcache"
+	// DiskCachePaths are the serialization layers whose output bytes carry a
+	// byte-identity guarantee: the persistent run cache (cache files must be
+	// pure functions of the (stamp, key, value) triple) and the decision-log
+	// codec (zero-perturbation replay must reproduce an envelope byte for
+	// byte). Both rule out encoding/gob (its map encoding is randomized per
+	// process) and wall-clock reads.
+	DiskCachePaths = []string{
+		"smartconf/internal/experiments/engine/diskcache",
+		"smartconf/internal/declog",
+	}
 )
 
 // CacheKeyAnalyzer enforces run-cache discipline in the experiments package:
@@ -51,7 +56,7 @@ var CacheKeyAnalyzer = &Analyzer{
 }
 
 func runCacheKey(pass *Pass) error {
-	if pass.Pkg.Path() == DiskCachePath {
+	if pathMatchesPrefix(pass.Pkg.Path(), DiskCachePaths) {
 		return runDiskCacheRules(pass)
 	}
 	if !pathMatchesPrefix(pass.Pkg.Path(), CachedRunPaths) {
@@ -74,11 +79,12 @@ func runCacheKey(pass *Pass) error {
 	return nil
 }
 
-// runDiskCacheRules checks the persistent cache layer: cache files must be
-// byte-deterministic across processes and worker counts, which rules out
-// gob (randomized map-entry order) and any wall-clock content. time.Now in
-// a key or envelope would make identical runs produce different cache files
-// and silently defeat the warm-rebuild byte-identity guarantee.
+// runDiskCacheRules checks the byte-deterministic serialization layers:
+// cache files and decision-log envelopes must be byte-identical across
+// processes and worker counts, which rules out gob (randomized map-entry
+// order) and any wall-clock content. time.Now in a key or envelope would
+// make identical runs produce different bytes and silently defeat the
+// warm-rebuild and zero-perturbation-replay identity guarantees.
 func runDiskCacheRules(pass *Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -90,11 +96,11 @@ func runDiskCacheRules(pass *Pass) error {
 			switch path {
 			case "encoding/gob":
 				pass.Reportf(call.Pos(),
-					"encoding/gob in the persistent cache layer: gob output is not byte-deterministic (map encoding order is randomized); encode with encoding/json over fixed-order structs")
+					"encoding/gob in a byte-deterministic serialization layer: gob output is not byte-deterministic (map encoding order is randomized); encode with encoding/json over fixed-order structs")
 			case "time":
 				if name == "Now" || name == "Since" || name == "Until" {
 					pass.Reportf(call.Pos(),
-						"wall-clock time.%s in the persistent cache layer; cache keys and file bytes must be pure functions of (stamp, key, value)", name)
+						"wall-clock time.%s in a byte-deterministic serialization layer; output bytes must be pure functions of their inputs", name)
 				}
 			}
 			return true

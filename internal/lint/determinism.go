@@ -24,6 +24,10 @@ var DeterminismPackages = []string{
 	"smartconf/internal/experiments",
 	"smartconf/internal/chaos",
 	"smartconf/internal/proptest",
+	// The decision log is recorded inside deterministic runs and its envelope
+	// bytes back the zero-perturbation replay identity — wall-clock or global
+	// randomness here would break byte-identical replay.
+	"smartconf/internal/declog",
 	// Not simulation code, but on the deterministic-artifact path the golden
 	// byte-identity tests protect: the system/goals file layer, the Table 1-5
 	// study data, and the artifact-rendering commands.

@@ -168,7 +168,7 @@ func TestCacheKeyAnalyzer(t *testing.T) {
 // inside the disk-cache package, gob encoding and wall-clock reads are
 // findings regardless of adapter discipline.
 func TestCacheKeyDiskCacheRules(t *testing.T) {
-	defer swap(&lint.DiskCachePath, "lint.test/cachekey/diskcache")()
+	defer swap(&lint.DiskCachePaths, []string{"lint.test/cachekey/diskcache"})()
 	runAnalyzerTest(t, lint.CacheKeyAnalyzer, "lint.test/cachekey/diskcache")
 }
 
@@ -236,6 +236,7 @@ func TestHotPathRootsAnnotated(t *testing.T) {
 		"smartconf/internal/kvstore":   {"Write", "flushDone"},
 		"smartconf/internal/dfs":       {"Write"},
 		"smartconf/internal/mapred":    {"RunJob", "schedulerTick", "writeChunk", "reduceDone"},
+		"smartconf/internal/declog":    {"Append"},
 	}
 	paths := make([]string, 0, len(roots))
 	for p := range roots {

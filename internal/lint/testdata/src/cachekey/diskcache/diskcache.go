@@ -24,12 +24,12 @@ type envelope struct {
 // same value encodes to different bytes run to run.
 func encodeGob(k key) []byte {
 	var buf bytes.Buffer
-	gob.NewEncoder(&buf).Encode(k) // want "encoding/gob in the persistent cache layer"
+	gob.NewEncoder(&buf).Encode(k) // want "encoding/gob in a byte-deterministic serialization layer"
 	return buf.Bytes()
 }
 
 func registerTypes() {
-	gob.Register(key{}) // want "encoding/gob in the persistent cache layer"
+	gob.Register(key{}) // want "encoding/gob in a byte-deterministic serialization layer"
 }
 
 // encodeJSON is the sanctioned encoder: fixed-order struct fields make the
@@ -41,12 +41,12 @@ func encodeJSON(k key) []byte {
 
 func stampEnvelope(k key) envelope {
 	e := envelope{Key: k}
-	e.Written = time.Since(time.Time{}) // want "wall-clock time.Since in the persistent cache layer"
+	e.Written = time.Since(time.Time{}) // want "wall-clock time.Since in a byte-deterministic serialization layer"
 	return e
 }
 
 func freshness() bool {
-	return time.Now().IsZero() // want "wall-clock time.Now in the persistent cache layer"
+	return time.Now().IsZero() // want "wall-clock time.Now in a byte-deterministic serialization layer"
 }
 
 // debugTimestamp is operator-facing logging, not cache bytes; the escape

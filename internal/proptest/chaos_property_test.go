@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"testing"
 
+	"smartconf/internal/declog"
 	"smartconf/internal/experiments"
 	"smartconf/internal/proptest"
 )
@@ -37,19 +38,40 @@ func chaosSeeds() []int64 {
 
 // TestChaosProperties is the invariant harness: for every substrate × seed,
 // generate a fault plan from the seed, run the substrate's SmartConf loop
-// through it, and hold the run to the oracle set.
+// through it (decision logging on — logging is observation-only), and hold
+// the run to the oracle set, including the decision-log replay oracle: the
+// captured log, round-tripped through the serialization codec and re-executed
+// with zero perturbations, must reproduce the run byte-identically.
 func TestChaosProperties(t *testing.T) {
 	for _, sub := range experiments.ChaosSubstrates() {
 		for _, seed := range chaosSeeds() {
 			t.Run(fmt.Sprintf("%s/seed=%d", sub, seed), func(t *testing.T) {
-				r := experiments.RunChaosProperty(sub, seed)
+				r, env := experiments.RunChaosPropertyLogged(sub, seed)
 				p := experiments.ChaosParams(sub)
+
+				// Round-trip the envelope through the codec before replaying:
+				// the oracle then also proves a *serialized* log carries
+				// everything a replay needs.
+				encoded, err := declog.Encode(env)
+				if err != nil {
+					t.Fatalf("encoding decision log: %v", err)
+				}
+				parsed, err := declog.Parse(encoded)
+				if err != nil {
+					t.Fatalf("parsing decision log: %v", err)
+				}
+				rr, renv, err := experiments.ReplayEnvelope(parsed, declog.Perturb{})
+				if err != nil {
+					t.Fatalf("replaying decision log: %v", err)
+				}
+
 				for name, err := range map[string]error{
 					"Drains":                 proptest.Drains(&r),
 					"MakesProgress":          proptest.MakesProgress(&r, p.MinProgress),
 					"ConfInBounds":           proptest.ConfInBounds(&r),
 					"HardGoalBounded":        proptest.HardGoalBounded(&r, p.Settle),
 					"RecoversAfterClearance": proptest.RecoversAfterClearance(&r, p.Recover),
+					"LogReplays":             proptest.LogReplays(&r, env, &rr, renv),
 				} {
 					if err != nil {
 						t.Errorf("%s: %v", name, err)

@@ -22,11 +22,13 @@
 package proptest
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"time"
 
 	"smartconf/internal/chaos"
+	"smartconf/internal/declog"
 )
 
 // Sample is one time-series point of a chaos run.
@@ -202,6 +204,34 @@ func Replays(a, b *Report) error {
 	if a.Fingerprint != b.Fingerprint {
 		return fmt.Errorf("%s/%s seed %d: replay diverged (%s vs %s)",
 			a.Substrate, a.Plan, a.Seed, a.Fingerprint, b.Fingerprint)
+	}
+	return nil
+}
+
+// LogReplays is the decision-log replay oracle: re-executing a captured run
+// with zero perturbations must reproduce both the observable trajectory
+// (Replays) and the decision log itself, byte for byte — and the envelope's
+// fingerprint must be the one the original run computed, so a serialized log
+// can always be tied back to its run.
+func LogReplays(orig *Report, origEnv declog.Envelope, replay *Report, replayEnv declog.Envelope) error {
+	if err := Replays(orig, replay); err != nil {
+		return err
+	}
+	if origEnv.Fingerprint != orig.Fingerprint {
+		return fmt.Errorf("%s/%s seed %d: envelope fingerprint %q != run fingerprint %q",
+			orig.Substrate, orig.Plan, orig.Seed, origEnv.Fingerprint, orig.Fingerprint)
+	}
+	a, err := declog.Encode(origEnv)
+	if err != nil {
+		return fmt.Errorf("%s/%s seed %d: encoding original log: %w", orig.Substrate, orig.Plan, orig.Seed, err)
+	}
+	b, err := declog.Encode(replayEnv)
+	if err != nil {
+		return fmt.Errorf("%s/%s seed %d: encoding replayed log: %w", orig.Substrate, orig.Plan, orig.Seed, err)
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("%s/%s seed %d: zero-perturbation replay produced a different decision log (%d vs %d bytes)",
+			orig.Substrate, orig.Plan, orig.Seed, len(a), len(b))
 	}
 	return nil
 }

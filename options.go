@@ -1,5 +1,7 @@
 package smartconf
 
+import "smartconf/internal/declog"
+
 // Option customizes Conf and Manager construction.
 type Option func(*options)
 
@@ -7,6 +9,8 @@ type options struct {
 	alert          AlertFunc
 	alertThreshold int
 	trace          TraceFunc
+	declog         *declog.Log
+	perturb        *declog.Perturb
 }
 
 func applyOptions(opts []Option) options {
@@ -34,4 +38,20 @@ func WithAlertThreshold(n int) Option {
 		}
 		o.alertThreshold = n
 	}
+}
+
+// WithDecisionLog makes the configuration record every controller decision
+// into l (registered under the Spec name). The log is a fixed-capacity,
+// zero-allocation ring cheap enough to stay on in production; serialize it
+// with declog.Encode and feed the file to cmd/smartconf-replay.
+func WithDecisionLog(l *declog.Log) Option {
+	return func(o *options) { o.declog = l }
+}
+
+// WithPerturb arms a counterfactual decision edit on the synthesized
+// controller: from p.FromPeriod onward the pole is pinned and/or the clamp
+// bounds are moved. This is the offline replay tool's hook ("what if the
+// pole were 0.9 from period k?") — production paths never set it.
+func WithPerturb(p declog.Perturb) Option {
+	return func(o *options) { o.perturb = &p }
 }

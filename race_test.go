@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"smartconf/internal/declog"
 	"smartconf/internal/experiments/engine"
 )
 
@@ -68,6 +69,72 @@ func TestConcurrentControlLoopIsRaceFree(t *testing.T) {
 	}
 	if v := c.Value(); v < 0 || v > 5000 {
 		t.Errorf("setting %v escaped [min, max] under concurrency", v)
+	}
+}
+
+// TestConcurrentDecisionLogIsRaceFree hammers one decision log from every
+// place a deployed log is touched concurrently — a logging controller
+// appending decisions as sensor threads feed it, a second producer appending
+// directly, exporters snapshotting and serializing the ring mid-run, and goal
+// changes bumping the epoch — so `go test -race` pins the ring's locking
+// story end to end, Append through Envelope/Encode.
+func TestConcurrentDecisionLogIsRaceFree(t *testing.T) {
+	log := declog.New(128)
+	profile := NewProfile().
+		Add(100, 10, 11, 12).
+		Add(200, 20, 21, 22).
+		Add(400, 40, 41, 39).
+		Add(800, 80, 82, 81)
+	c, err := New(Spec{
+		Name:    "race.knob",
+		Metric:  "race_load",
+		Goal:    50,
+		Hard:    true,
+		Initial: 400,
+		Min:     1, Max: 10_000,
+	}, profile, WithDecisionLog(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := log.Register("race.direct")
+
+	const iters = 500
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	spawn := func(f func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				f(i)
+			}
+		}()
+	}
+
+	for g := 0; g < 2; g++ {
+		spawn(func(i int) { c.SetPerf(40 + float64(i%40)); _ = c.Value() })
+		spawn(func(i int) {
+			log.Append(declog.Record{Source: direct, Period: uint32(i + 1), Sensed: float64(i), Err: 1, Pole: 0.5, Raw: 2, Applied: 2})
+		})
+		spawn(func(i int) { _ = log.Snapshot(); _ = log.Len(); _ = log.Sources() })
+		spawn(func(i int) {
+			env := log.Envelope("race", "none", 1, "fp")
+			if _, err := declog.Encode(env); err != nil {
+				t.Errorf("mid-run export failed to encode: %v", err)
+			}
+		})
+	}
+	spawn(func(i int) { log.BumpEpoch(); _ = log.Epoch(); _ = log.Total() })
+
+	close(start)
+	wg.Wait()
+
+	if log.Total() == 0 {
+		t.Error("no decisions were recorded under concurrency")
+	}
+	if n := log.Len(); n > log.Cap() {
+		t.Errorf("ring holds %d records over capacity %d", n, log.Cap())
 	}
 }
 
