@@ -25,7 +25,7 @@ func renderScale(requests int64) string {
 			r = experiments.RunScale(substrate, requests)
 		})
 		results = append(results, r)
-		fmt.Fprintf(os.Stderr, "scale %-6s %d requests in %v wall, %.0f req/s, %.3f allocs/request\n",
+		fmt.Fprintf(os.Stderr, "scale %-8s %d requests in %v wall, %.0f req/s, %.3f allocs/request\n",
 			substrate, r.Requests, wall, float64(r.Requests)/wall.Seconds(),
 			float64(allocs)/float64(r.Requests))
 	}

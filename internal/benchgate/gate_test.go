@@ -12,11 +12,14 @@ import (
 	"smartconf/internal/sim"
 )
 
-// gateInstance is the minimal cluster.Instance for the router gate.
-type gateInstance struct{ id int }
+// gateInstance is the minimal cluster.Instance for the router gates.
+type gateInstance struct {
+	id   int
+	dead bool
+}
 
 func (g gateInstance) ID() int       { return g.id }
-func (g gateInstance) Alive() bool   { return true }
+func (g gateInstance) Alive() bool   { return !g.dead }
 func (g gateInstance) Load() float64 { return float64(g.id) }
 
 // baselinePath locates BENCH_engine.json relative to this package.
@@ -114,7 +117,21 @@ var gated = []struct {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			r.RouteExcluding(cluster.Request{Key: uint64(i), Cost: 1}, 0)
+			r.RouteExcluding(cluster.Request{Key: uint64(i), Cost: 1}, cluster.TriedSet{})
+		}
+	}},
+	{"smartconf/internal/cluster.BenchmarkFleetRouteWide", func(b *testing.B) {
+		r := cluster.NewRouter(cluster.KeyAffinity)
+		for i := 0; i < 256; i++ {
+			r.Add(gateInstance{id: i, dead: i%5 == 0}, 1)
+		}
+		var tried cluster.TriedSet
+		for i := 0; i < 256; i += 7 {
+			tried.Set(i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.RouteExcluding(cluster.Request{Key: uint64(i), Cost: 1}, tried)
 		}
 	}},
 }

@@ -42,6 +42,8 @@ var wholeRun = []struct {
 	{"smartconf/internal/experiments.ScaleRun/kv", "kv", true},
 	{"smartconf/internal/experiments.ScaleRun/dfs", "dfs", false},
 	{"smartconf/internal/experiments.ScaleRun/mapred", "mapred", true},
+	{"smartconf/internal/experiments.ScaleRun/fleetrpc", "fleetrpc", true},
+	{"smartconf/internal/experiments.ScaleRun/fleetllm", "fleetllm", true},
 }
 
 func TestWholeRunVsBaseline(t *testing.T) {

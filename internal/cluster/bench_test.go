@@ -3,7 +3,7 @@ package cluster
 import "testing"
 
 // BenchmarkRouterRoute measures one routing decision on the key-affinity
-// policy (the most work per decision: one rendezvous hash per member) over a
+// policy (the most work per decision: one rendezvous mix per member) over a
 // 16-member fleet. The number in BENCH_engine.json is re-measured by
 // internal/benchgate, which fails CI if this path ever allocates.
 func BenchmarkRouterRoute(b *testing.B) {
@@ -12,6 +12,44 @@ func BenchmarkRouterRoute(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.RouteExcluding(Request{Key: uint64(i), Cost: 1}, 0)
+		r.RouteExcluding(Request{Key: uint64(i), Cost: 1}, TriedSet{})
+	}
+}
+
+// BenchmarkFleetRouteWide is the wide-router gate: one key-affinity decision
+// over a 256-member fleet with a scattered mix of dead (every 5th) and tried
+// (every 7th) members, so the eligible-set word math, the dead cache, and
+// the salted rendezvous scan are all on the measured path. Benchgate-gated
+// at 0 allocs/op via BENCH_engine.json.
+func BenchmarkFleetRouteWide(b *testing.B) {
+	fakes := newFakes(256)
+	for i := 0; i < 256; i += 5 {
+		fakes[i].alive = false
+	}
+	r := routerOver(KeyAffinity, fakes)
+	var tried TriedSet
+	for i := 0; i < 256; i += 7 {
+		tried.Set(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RouteExcluding(Request{Key: uint64(i), Cost: 1}, tried)
+	}
+}
+
+// BenchmarkFleetRouteWideLeastLoaded measures the tournament-sample path: a
+// least-loaded decision over 256 members costs tournamentSamples Load()
+// calls plus the word-level candidate math, not a 256-member scan.
+func BenchmarkFleetRouteWideLeastLoaded(b *testing.B) {
+	fakes := newFakes(256)
+	for i := range fakes {
+		fakes[i].load = float64(i % 17)
+	}
+	r := routerOver(LeastLoaded, fakes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RouteExcluding(Request{Key: uint64(i), Cost: 1}, TriedSet{})
 	}
 }

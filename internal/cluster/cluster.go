@@ -13,9 +13,12 @@
 //     llmserve and kvstore substrates satisfy it structurally (plus Kill and
 //     Restart for instance-level chaos), so any of them can be fleeted.
 //   - Router: a pluggable routing policy over the member set — round-robin,
-//     least-loaded, weighted-scoring, and key-affinity (rendezvous hashing,
-//     stable under membership change). The decision path allocates nothing:
-//     routing runs once per simulated request, millions of times per run.
+//     least-loaded, weighted-scoring, key-affinity, and prefix-affinity
+//     (rendezvous hashing, stable under membership change). The decision
+//     path allocates nothing and is sub-O(N) where the policy allows it:
+//     precomputed rendezvous salts, a lazily-maintained dead-member bitset
+//     scanned by word-level bit tricks, and tournament sampling for the
+//     load-scanning policies on fleets wider than 64.
 //   - Fleet[R]: the front-end. It couples the router to typed per-member
 //     offer functions, retries rejected requests on the next-best member (a
 //     bitmask of tried members, no allocation), enforces the global
@@ -26,7 +29,7 @@
 //     the minimum of the two bounds each node's controllers propose.
 //
 // Everything is deterministic: no wall clock, no global rand, no map
-// iteration on any observable path. A fleet scenario runs 1-wide or 64-wide
+// iteration on any observable path. A fleet scenario runs 1-wide or 256-wide
 // through the same code path, and two runs with the same seed are
 // byte-identical — which is what lets fleet results flow through the
 // experiment engine's run cache.
@@ -56,14 +59,20 @@ type Instance interface {
 type Request struct {
 	// Key is the affinity identity (a YCSB key, a session, a tenant).
 	Key uint64
+	// Prefix is the shared-prefix identity the prefix-affinity policy routes
+	// on: a hash of the request's prompt prefix (chat template, system
+	// prompt), coarser than Key, so requests that could reuse each other's
+	// KV state co-locate.
+	Prefix uint64
 	// Cost is the request's work estimate in the fleet's load units; the
 	// weighted-scoring policy adds it to the candidate's load.
 	Cost float64
 }
 
 // maxMembers bounds the fleet width: retry routing tracks tried members in a
-// uint64 bitmask, so one word covers the widest supported fleet.
-const maxMembers = 64
+// fixed-size multi-word bitset (TriedSet), so four words cover the widest
+// supported fleet and the retry state still lives on the stack.
+const maxMembers = 256
 
 // Fleet is the front-end over N instances serving requests of type R: it
 // routes, retries, enforces the global admission knob, and counts outcomes.
@@ -99,10 +108,10 @@ func NewFleet[R any](policy PolicyKind) *Fleet[R] {
 
 // Add registers a member with its routing weight (relative capacity; the
 // weighted-scoring policy divides by it) and its typed offer function.
-// Fleets are bounded at 64 members — one bitmask word of retry state.
+// Fleets are bounded at 256 members — four bitset words of retry state.
 func (f *Fleet[R]) Add(inst Instance, weight float64, offer func(R) bool) {
 	if len(f.offers) >= maxMembers {
-		panic("cluster: fleet exceeds 64 members")
+		panic("cluster: fleet exceeds 256 members")
 	}
 	f.router.Add(inst, weight)
 	f.offers = append(f.offers, offer)
@@ -155,12 +164,18 @@ func (f *Fleet[R]) MaxInFlight() int { return f.maxInFlight }
 // dead) is masked out and the next-best member is tried, so a request is
 // refused only when every live member refused it. Returns false when the
 // request was refused (throttled at admission, or exhausted the fleet).
+// With the admission knob wide open (math.MaxInt) the O(N) fleet-load sum
+// is skipped entirely: no finite load can reach the unbounded gate, so the
+// fast path is behavior-identical and a 256-node uncontrolled fleet pays
+// nothing for the gate it is not using.
+//
+//smartconf:hotpath
 func (f *Fleet[R]) Dispatch(req Request, payload R) bool {
 	if f.BeforeDispatch != nil {
 		f.BeforeDispatch()
 	}
 	f.submitted++
-	if f.TotalLoad() >= float64(f.maxInFlight) {
+	if f.maxInFlight != math.MaxInt && f.TotalLoad() >= float64(f.maxInFlight) {
 		f.throttled++
 		f.refused++
 		return false
@@ -176,6 +191,8 @@ func (f *Fleet[R]) Dispatch(req Request, payload R) bool {
 // retry path). The request was already admitted once, so the admission gate
 // is not re-applied — retries must not be throttled into oblivion by the
 // very loss that displaced them.
+//
+//smartconf:hotpath
 func (f *Fleet[R]) Redispatch(req Request, payload R) bool {
 	f.redispatched++
 	if f.place(req, payload) {
@@ -186,7 +203,7 @@ func (f *Fleet[R]) Redispatch(req Request, payload R) bool {
 }
 
 func (f *Fleet[R]) place(req Request, payload R) bool {
-	var tried uint64
+	var tried TriedSet
 	for attempts := len(f.offers); attempts > 0; attempts-- {
 		i := f.router.RouteExcluding(req, tried)
 		if i < 0 {
@@ -198,7 +215,7 @@ func (f *Fleet[R]) place(req Request, payload R) bool {
 			}
 			return true
 		}
-		tried |= 1 << uint(i)
+		tried.Set(i)
 	}
 	return false
 }

@@ -1,0 +1,68 @@
+package cluster
+
+import "testing"
+
+// FuzzRouteExcluding drives RouteExcluding with fuzzer-chosen (width,
+// tried-set, alive-set, key) tuples and checks the routing contract that
+// every policy must honor at every width up to maxMembers:
+//
+//   - a returned member is in range, alive, and not in the tried set;
+//   - -1 is returned exactly when no member is alive-and-untried;
+//   - the decision is deterministic: re-routing the same request on a fresh
+//     identically-configured router picks the same member (the stateful
+//     round-robin policy is replayed on a fresh router pair instead).
+func FuzzRouteExcluding(f *testing.F) {
+	f.Add(uint16(4), uint64(1), uint64(0), uint64(0), uint64(0), ^uint64(0), uint64(0), uint64(0), uint64(0), uint64(7), byte(3))
+	f.Add(uint16(65), uint64(1)<<63, uint64(1), uint64(0), uint64(0), ^uint64(0), ^uint64(0), uint64(0), uint64(0), uint64(99), byte(4))
+	f.Add(uint16(256), uint64(0), uint64(0), uint64(0), uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), uint64(1), byte(1))
+	f.Fuzz(func(t *testing.T, width uint16,
+		t0, t1, t2, t3 uint64, // tried words
+		a0, a1, a2, a3 uint64, // alive words
+		key uint64, policyByte byte) {
+
+		n := int(width%maxMembers) + 1
+		tried := TriedSet{t0, t1, t2, t3}
+		alive := TriedSet{a0, a1, a2, a3}
+		policy := PolicyKind(int(policyByte) % 5)
+
+		build := func() ([]*fake, *Router) {
+			fakes := make([]*fake, n)
+			r := NewRouter(policy)
+			for i := range fakes {
+				fakes[i] = &fake{id: i, alive: alive.Has(i), load: float64(mix64(key+uint64(i)) % 1024)}
+				r.Add(fakes[i], float64(i%7+1))
+			}
+			return fakes, r
+		}
+		fakes, r := build()
+		req := Request{Key: key, Prefix: key >> 7, Cost: 2}
+		got := r.RouteExcluding(req, tried)
+
+		eligible := 0
+		for i := 0; i < n; i++ {
+			if alive.Has(i) && !tried.Has(i) {
+				eligible++
+			}
+		}
+		if got == -1 {
+			if eligible != 0 {
+				t.Fatalf("width %d policy %s: routed nowhere with %d eligible members", n, policy, eligible)
+			}
+			return
+		}
+		if got < 0 || got >= n {
+			t.Fatalf("width %d policy %s: routed to out-of-range member %d", n, policy, got)
+		}
+		if tried.Has(got) {
+			t.Fatalf("width %d policy %s: routed to tried member %d", n, policy, got)
+		}
+		if !fakes[got].alive {
+			t.Fatalf("width %d policy %s: routed to dead member %d", n, policy, got)
+		}
+
+		_, r2 := build()
+		if again := r2.RouteExcluding(req, tried); again != got {
+			t.Fatalf("width %d policy %s: fresh identical router picked %d, first picked %d", n, policy, again, got)
+		}
+	})
+}

@@ -1,5 +1,7 @@
 package cluster
 
+import "math/bits"
+
 // PolicyKind selects the routing policy a Router applies.
 type PolicyKind int
 
@@ -7,15 +9,23 @@ const (
 	// RoundRobin rotates through live members in ID order.
 	RoundRobin PolicyKind = iota
 	// LeastLoaded picks the live member with the smallest Load(); ties go to
-	// the lowest index, so the choice is deterministic.
+	// the lowest index, so the choice is deterministic. On fleets wider than
+	// tournamentWidth it samples tournamentSamples candidates instead of
+	// scanning every member (power-of-d-choices, deterministic draw).
 	LeastLoaded
 	// WeightedScore picks the live member minimizing (Load()+Cost)/weight —
-	// least-loaded generalized to heterogeneous capacities.
+	// least-loaded generalized to heterogeneous capacities. Wide fleets use
+	// the same tournament-sample path as LeastLoaded.
 	WeightedScore
 	// KeyAffinity picks by rendezvous (highest-random-weight) hashing over
 	// Key and member ID: the same key always lands on the same live member,
 	// and when a member dies only its keys move.
 	KeyAffinity
+	// PrefixAffinity picks by rendezvous hashing over the request's Prefix
+	// key instead of its full Key: requests sharing a prompt prefix (a chat
+	// template, a system prompt, a tenant) land on the same member, so an
+	// llmserve fleet reuses the KV state the prefix already resides in.
+	PrefixAffinity
 )
 
 // String returns the policy's stable name (used in cache keys and renders).
@@ -29,17 +39,66 @@ func (k PolicyKind) String() string {
 		return "weighted-score"
 	case KeyAffinity:
 		return "key-affinity"
+	case PrefixAffinity:
+		return "prefix-affinity"
 	}
 	return "unknown"
 }
 
+// triedWords sizes the retry bitset: maxMembers bits in fixed-size words, so
+// a TriedSet lives on the stack and a route decision allocates nothing.
+const triedWords = maxMembers / 64
+
+// TriedSet is the fixed-size member bitset the fleet's retry loop threads
+// through RouteExcluding: value-typed, one bit per member, no allocation.
+type TriedSet [triedWords]uint64
+
+// Set marks member i as tried.
+func (t *TriedSet) Set(i int) { t[i>>6] |= 1 << uint(i&63) }
+
+// Has reports whether member i is marked.
+func (t *TriedSet) Has(i int) bool { return t[i>>6]&(1<<uint(i&63)) != 0 }
+
+const (
+	// tournamentWidth is the eligible-set size above which the load-scanning
+	// policies (least-loaded, weighted-scoring) stop evaluating every
+	// candidate and sample instead: below it an exhaustive scan is cheaper
+	// than the bookkeeping, and keeping it at 64 pins every pre-wide fleet
+	// (and artifact) to the exact exhaustive-scan behavior.
+	tournamentWidth = 64
+	// tournamentSamples is the tournament size: d independent draws from the
+	// eligible set, best-of-d by the policy's score. d=8 keeps the max-load
+	// overshoot of power-of-d-choices negligible while cutting a 256-member
+	// scan to 8 Load() calls.
+	tournamentSamples = 8
+)
+
 // Router places requests on fleet members according to one PolicyKind. The
 // decision path is allocation-free: it runs once per simulated request.
+//
+// Liveness is tracked lazily: members observed dead (a routed-to winner
+// whose Alive() came back false) are cached in a dead-set word array, so
+// subsequent routes skip them with bit arithmetic instead of per-member
+// Alive() calls. Cached-dead members are re-checked at the top of every
+// route — O(dead), which is zero in steady state — so a restarted member is
+// eligible again on the very next decision.
 type Router struct {
 	policy  PolicyKind
 	members []Instance
 	weights []float64
-	rr      int
+	// salts holds each member's precomputed rendezvous salt
+	// (mix64(id+goldenGamma)): Add-time work that halves the per-route hash
+	// cost of the affinity policies.
+	salts []uint64
+	// all has one bit set per registered member; dead caches members
+	// observed dead since their last Alive()=true sighting.
+	all       TriedSet
+	dead      TriedSet
+	deadCount int
+	rr        int
+	// tick seeds the tournament sample draws: a deterministic sequence, so
+	// replayed runs sample identically.
+	tick uint64
 }
 
 // NewRouter returns an empty router with the given policy.
@@ -48,13 +107,19 @@ func NewRouter(policy PolicyKind) *Router {
 }
 
 // Add registers a member with its weight (relative capacity for the
-// weighted-scoring policy; non-positive weights are treated as 1).
+// weighted-scoring policy; non-positive weights are treated as 1). Routers
+// are bounded at maxMembers members — the fixed width of the retry bitset.
 func (r *Router) Add(inst Instance, weight float64) {
+	if len(r.members) >= maxMembers {
+		panic("cluster: router exceeds 256 members")
+	}
 	if weight <= 0 {
 		weight = 1
 	}
+	r.all.Set(len(r.members))
 	r.members = append(r.members, inst)
 	r.weights = append(r.weights, weight)
+	r.salts = append(r.salts, mix64(uint64(inst.ID())+goldenGamma))
 }
 
 // Policy returns the router's policy.
@@ -65,83 +130,250 @@ func (r *Router) Len() int { return len(r.members) }
 
 // Route picks a member index for the request, or -1 if no live member is
 // available.
-func (r *Router) Route(req Request) int { return r.RouteExcluding(req, 0) }
+//
+//smartconf:hotpath
+func (r *Router) Route(req Request) int { return r.RouteExcluding(req, TriedSet{}) }
 
 // RouteExcluding picks a member like Route but skips members whose bit is
-// set in tried — the fleet's retry loop masks each member that refused a
+// set in tried — the fleet's retry loop marks each member that refused a
 // request and re-routes, so rejected work spills to the next-best member
 // with no per-attempt allocation.
-func (r *Router) RouteExcluding(req Request, tried uint64) int {
+//
+//smartconf:hotpath
+func (r *Router) RouteExcluding(req Request, tried TriedSet) int {
 	n := len(r.members)
 	if n == 0 {
 		return -1
 	}
-	switch r.policy {
-	case RoundRobin:
-		for i := 0; i < n; i++ {
-			idx := r.rr + i
-			if idx >= n {
-				idx -= n
-			}
-			if r.eligible(idx, tried) {
-				r.rr = idx + 1
+	r.reviveDead()
+	for {
+		// Eligible = registered &^ dead &^ tried, one word op per 64 members.
+		var cand TriedSet
+		any := false
+		for w := 0; w < triedWords; w++ {
+			cand[w] = r.all[w] &^ r.dead[w] &^ tried[w]
+			any = any || cand[w] != 0
+		}
+		if !any {
+			return -1
+		}
+		i := r.pick(req, &cand)
+		if i < 0 {
+			return -1
+		}
+		// One Alive() call per decision: the winner is verified, and a stale
+		// winner joins the dead cache so the rescan skips it by bit math.
+		if r.members[i].Alive() {
+			if r.policy == RoundRobin {
+				r.rr = i + 1
 				if r.rr >= n {
 					r.rr = 0
 				}
-				return idx
 			}
+			return i
 		}
-		return -1
+		r.dead.Set(i)
+		r.deadCount++
+	}
+}
+
+// reviveDead re-checks every cached-dead member — O(dead), usually zero —
+// clearing the bit of any member that has come back, so restarts take
+// effect on the next routing decision.
+func (r *Router) reviveDead() {
+	if r.deadCount == 0 {
+		return
+	}
+	for w := 0; w < triedWords; w++ {
+		m := r.dead[w]
+		for m != 0 {
+			i := w*64 + bits.TrailingZeros64(m)
+			if r.members[i].Alive() {
+				r.dead[w] &^= 1 << uint(i&63)
+				r.deadCount--
+			}
+			m &= m - 1
+		}
+	}
+}
+
+// pick applies the routing policy over the candidate bitset and returns the
+// chosen index (a set bit of cand), or -1 if cand is empty.
+func (r *Router) pick(req Request, cand *TriedSet) int {
+	switch r.policy {
+	case RoundRobin:
+		return pickFrom(cand, r.rr)
 	case LeastLoaded:
-		best, bestLoad := -1, 0.0
-		for i := 0; i < n; i++ {
-			if !r.eligible(i, tried) {
-				continue
-			}
-			l := r.members[i].Load()
-			if best < 0 || l < bestLoad {
-				best, bestLoad = i, l
-			}
+		if wide, count := r.wideEligible(cand); wide {
+			return r.pickTournament(req, cand, count, false)
 		}
-		return best
+		return r.scanLoad(req, cand, false)
 	case WeightedScore:
-		best, bestScore := -1, 0.0
-		for i := 0; i < n; i++ {
-			if !r.eligible(i, tried) {
-				continue
-			}
-			s := (r.members[i].Load() + req.Cost) / r.weights[i]
-			if best < 0 || s < bestScore {
-				best, bestScore = i, s
-			}
+		if wide, count := r.wideEligible(cand); wide {
+			return r.pickTournament(req, cand, count, true)
 		}
-		return best
+		return r.scanLoad(req, cand, true)
 	case KeyAffinity:
-		best := -1
-		var bestHash uint64
-		for i := 0; i < n; i++ {
-			if !r.eligible(i, tried) {
-				continue
-			}
-			h := rendezvous(req.Key, r.members[i].ID())
-			if best < 0 || h > bestHash {
-				best, bestHash = i, h
-			}
-		}
-		return best
+		return r.scanRendezvous(req.Key, cand)
+	case PrefixAffinity:
+		return r.scanRendezvous(req.Prefix, cand)
 	}
 	return -1
 }
 
-func (r *Router) eligible(i int, tried uint64) bool {
-	return tried&(1<<uint(i)) == 0 && r.members[i].Alive()
+// wideEligible reports whether the eligible set is past the tournament
+// threshold, returning its population count when it is.
+func (r *Router) wideEligible(cand *TriedSet) (bool, int) {
+	if len(r.members) <= tournamentWidth {
+		return false, 0
+	}
+	count := 0
+	for w := 0; w < triedWords; w++ {
+		count += bits.OnesCount64(cand[w])
+	}
+	return count > tournamentWidth, count
 }
+
+// scanLoad is the exhaustive load scan: every eligible bit evaluated,
+// strict-less ascending so ties go to the lowest index.
+func (r *Router) scanLoad(req Request, cand *TriedSet, weighted bool) int {
+	best := -1
+	bestScore := 0.0
+	for w := 0; w < triedWords; w++ {
+		m := cand[w]
+		for m != 0 {
+			i := w*64 + bits.TrailingZeros64(m)
+			m &= m - 1
+			s := r.members[i].Load()
+			if weighted {
+				s = (s + req.Cost) / r.weights[i]
+			}
+			if best < 0 || s < bestScore {
+				best, bestScore = i, s
+			}
+		}
+	}
+	return best
+}
+
+// pickTournament is the wide-fleet sampling path: tournamentSamples
+// deterministic draws from the eligible set, scored like scanLoad. Sampled
+// indices are insertion-sorted ascending before scoring so the tie rule
+// (lowest index wins) matches the exhaustive scan's.
+func (r *Router) pickTournament(req Request, cand *TriedSet, count int, weighted bool) int {
+	r.tick++
+	var sample [tournamentSamples]int
+	ns := 0
+	for k := 0; k < tournamentSamples; k++ {
+		j := int(mix64(r.tick*goldenGamma+uint64(k)) % uint64(count))
+		i := selectBit(cand, j)
+		// Insertion sort, dropping duplicates: d draws with replacement.
+		pos := ns
+		for pos > 0 && sample[pos-1] >= i {
+			if sample[pos-1] == i {
+				pos = -1
+				break
+			}
+			pos--
+		}
+		if pos < 0 {
+			continue
+		}
+		copy(sample[pos+1:ns+1], sample[pos:ns])
+		sample[pos] = i
+		ns++
+	}
+	best := -1
+	bestScore := 0.0
+	for k := 0; k < ns; k++ {
+		i := sample[k]
+		s := r.members[i].Load()
+		if weighted {
+			s = (s + req.Cost) / r.weights[i]
+		}
+		if best < 0 || s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// scanRendezvous is the affinity scan: highest rendezvous hash over the
+// eligible bits, one precomputed-salt mix per member.
+func (r *Router) scanRendezvous(key uint64, cand *TriedSet) int {
+	best := -1
+	var bestHash uint64
+	for w := 0; w < triedWords; w++ {
+		m := cand[w]
+		for m != 0 {
+			i := w*64 + bits.TrailingZeros64(m)
+			m &= m - 1
+			h := mix64(key ^ r.salts[i])
+			if best < 0 || h > bestHash {
+				best, bestHash = i, h
+			}
+		}
+	}
+	return best
+}
+
+// pickFrom returns the first set bit at index >= from, wrapping — the
+// round-robin successor found by word-level bit tricks instead of a scan.
+func pickFrom(cand *TriedSet, from int) int {
+	w := from >> 6
+	if w >= triedWords {
+		w, from = 0, 0
+	}
+	off := uint(from & 63)
+	if m := cand[w] &^ ((1 << off) - 1); m != 0 {
+		return w*64 + bits.TrailingZeros64(m)
+	}
+	for wi := w + 1; wi < triedWords; wi++ {
+		if cand[wi] != 0 {
+			return wi*64 + bits.TrailingZeros64(cand[wi])
+		}
+	}
+	for wi := 0; wi < w; wi++ {
+		if cand[wi] != 0 {
+			return wi*64 + bits.TrailingZeros64(cand[wi])
+		}
+	}
+	if m := cand[w] & ((1 << off) - 1); m != 0 {
+		return w*64 + bits.TrailingZeros64(m)
+	}
+	return -1
+}
+
+// selectBit returns the index of the j-th (0-based) set bit of the bitset,
+// or -1 when fewer than j+1 bits are set.
+func selectBit(t *TriedSet, j int) int {
+	for w := 0; w < triedWords; w++ {
+		c := bits.OnesCount64(t[w])
+		if j >= c {
+			j -= c
+			continue
+		}
+		x := t[w]
+		for ; j > 0; j-- {
+			x &= x - 1
+		}
+		return w*64 + bits.TrailingZeros64(x)
+	}
+	return -1
+}
+
+// goldenGamma is the splitmix64 increment: the odd constant salting each
+// member's rendezvous hash stream.
+const goldenGamma = 0x9e3779b97f4a7c15
 
 // rendezvous scores (key, member) with a splitmix64-style mix. Each member
 // hashes every key independently, so removing a member reassigns only the
-// keys it owned — the property that keeps affinity stable under loss.
+// keys it owned — the property that keeps affinity stable under loss. The
+// routing path uses the salted form (member half precomputed at Add time);
+// this two-argument form is the reference the salt-pinning test compares
+// against.
 func rendezvous(key uint64, id int) uint64 {
-	return mix64(key ^ mix64(uint64(id)+0x9e3779b97f4a7c15))
+	return mix64(key ^ mix64(uint64(id)+goldenGamma))
 }
 
 // mix64 is the splitmix64 finalizer: a fast, well-distributed integer mix

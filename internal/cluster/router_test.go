@@ -128,20 +128,233 @@ func TestKeyAffinitySpreadsKeys(t *testing.T) {
 	}
 }
 
+// triedOf builds a TriedSet from explicit member indices.
+func triedOf(indices ...int) TriedSet {
+	var t TriedSet
+	for _, i := range indices {
+		t.Set(i)
+	}
+	return t
+}
+
 func TestRouteExcludingHonorsMask(t *testing.T) {
 	fakes := newFakes(3)
 	fakes[0].load = 0
 	fakes[1].load = 1
 	fakes[2].load = 2
 	r := routerOver(LeastLoaded, fakes)
-	if got := r.RouteExcluding(Request{}, 1<<0); got != 1 {
+	if got := r.RouteExcluding(Request{}, triedOf(0)); got != 1 {
 		t.Fatalf("got %d, want 1 with member 0 masked", got)
 	}
-	if got := r.RouteExcluding(Request{}, 1<<0|1<<1); got != 2 {
+	if got := r.RouteExcluding(Request{}, triedOf(0, 1)); got != 2 {
 		t.Fatalf("got %d, want 2 with members 0,1 masked", got)
 	}
-	if got := r.RouteExcluding(Request{}, 1<<0|1<<1|1<<2); got != -1 {
+	if got := r.RouteExcluding(Request{}, triedOf(0, 1, 2)); got != -1 {
 		t.Fatalf("got %d, want -1 with every member masked", got)
+	}
+}
+
+// TestRouteExcludingAtWordBoundaries pins correct exclusion at widths 63, 64,
+// 65 and 256: the regression the single-word tried-mask could not express —
+// a 65th member's 1<<64 mask bit wrapped into member 0's, so excluding
+// member 64 silently excluded member 0 instead.
+func TestRouteExcludingAtWordBoundaries(t *testing.T) {
+	for _, width := range []int{63, 64, 65, 256} {
+		fakes := newFakes(width)
+		r := routerOver(RoundRobin, fakes)
+		for excl := 0; excl < width; excl++ {
+			got := r.RouteExcluding(Request{}, triedOf(excl))
+			if got == excl {
+				t.Fatalf("width %d: excluded member %d was routed to anyway", width, excl)
+			}
+			if got < 0 || got >= width {
+				t.Fatalf("width %d: routed to %d with member %d excluded", width, got, excl)
+			}
+		}
+		// Excluding everyone except one member must pick exactly that member,
+		// wherever it sits relative to a word boundary.
+		for _, keep := range []int{0, width / 2, width - 1} {
+			var tried TriedSet
+			for i := 0; i < width; i++ {
+				if i != keep {
+					tried.Set(i)
+				}
+			}
+			for _, p := range []PolicyKind{RoundRobin, LeastLoaded, WeightedScore, KeyAffinity, PrefixAffinity} {
+				if got := routerOver(p, fakes).RouteExcluding(Request{Key: 7, Prefix: 9}, tried); got != keep {
+					t.Fatalf("width %d, %s: got %d, want sole unmasked member %d", width, p, got, keep)
+				}
+			}
+		}
+		// Excluding everyone routes nowhere.
+		var all TriedSet
+		for i := 0; i < width; i++ {
+			all.Set(i)
+		}
+		if got := r.RouteExcluding(Request{}, all); got != -1 {
+			t.Fatalf("width %d: got %d with every member excluded, want -1", width, got)
+		}
+	}
+}
+
+// TestRendezvousSaltPinned pins the Add-time salt precomputation to the
+// original per-route formula mix64(key ^ mix64(id+gamma)): the optimization
+// must not move a single key, or every affinity artifact's bytes would move
+// with it.
+func TestRendezvousSaltPinned(t *testing.T) {
+	fakes := newFakes(256)
+	r := routerOver(KeyAffinity, fakes)
+	for k := uint64(0); k < 4096; k += 17 {
+		want, wantHash := -1, uint64(0)
+		for i := range fakes {
+			if h := rendezvous(k, fakes[i].id); want < 0 || h > wantHash {
+				want, wantHash = i, h
+			}
+		}
+		if got := r.Route(Request{Key: k}); got != want {
+			t.Fatalf("key %d: salted routing picked %d, reference formula picks %d", k, got, want)
+		}
+	}
+}
+
+// TestPrefixAffinityRoutesOnPrefix pins the prefix policy's contract:
+// requests with equal Prefix co-locate regardless of Key, and the placement
+// is the rendezvous choice over Prefix.
+func TestPrefixAffinityRoutesOnPrefix(t *testing.T) {
+	fakes := newFakes(8)
+	r := routerOver(PrefixAffinity, fakes)
+	for prefix := uint64(0); prefix < 64; prefix++ {
+		first := r.Route(Request{Key: prefix * 1000, Prefix: prefix})
+		for key := uint64(0); key < 16; key++ {
+			if got := r.Route(Request{Key: key, Prefix: prefix}); got != first {
+				t.Fatalf("prefix %d: key %d routed to %d, want %d (prefix decides, not key)", prefix, key, got, first)
+			}
+		}
+		want, wantHash := -1, uint64(0)
+		for i := range fakes {
+			if h := rendezvous(prefix, fakes[i].id); want < 0 || h > wantHash {
+				want, wantHash = i, h
+			}
+		}
+		if first != want {
+			t.Fatalf("prefix %d: routed to %d, want rendezvous owner %d", prefix, first, want)
+		}
+	}
+}
+
+// TestAffinitySpreadWideFleet is the wide-fleet distribution property: 256
+// members, 64k keys (and 4k prefixes) — every member owns some keys and no
+// member owns more than 3x its fair share. The bound is loose by design:
+// rendezvous hashing's max/mean imbalance over k keys and n members
+// concentrates near 1 + O(sqrt(n ln n / k)), well under 3x here; what the
+// test guards is systematic skew (a broken mix, a salt collision), not
+// statistical noise.
+func TestAffinitySpreadWideFleet(t *testing.T) {
+	const width = 256
+	fakes := newFakes(width)
+	for _, tc := range []struct {
+		policy PolicyKind
+		keys   int
+	}{
+		{KeyAffinity, 65536},
+		{PrefixAffinity, 4096},
+	} {
+		r := routerOver(tc.policy, fakes)
+		counts := make([]int, width)
+		for k := 0; k < tc.keys; k++ {
+			var req Request
+			if tc.policy == KeyAffinity {
+				req.Key = uint64(k)
+			} else {
+				req.Prefix = uint64(k)
+			}
+			got := r.Route(req)
+			if got < 0 || got >= width {
+				t.Fatalf("%s: key %d routed to %d", tc.policy, k, got)
+			}
+			counts[got]++
+		}
+		fair := tc.keys / width
+		for i, c := range counts {
+			if c == 0 {
+				t.Errorf("%s: member %d owns no keys of %d — rendezvous spread collapsed", tc.policy, i, tc.keys)
+			}
+			if c > 3*fair {
+				t.Errorf("%s: member %d owns %d of %d keys (fair share %d) — systematic skew", tc.policy, i, c, tc.keys, fair)
+			}
+		}
+	}
+}
+
+// TestTournamentSamplingWideLeastLoaded exercises the wide-fleet sampling
+// path: on 256 members the pick must be deterministic across identically
+// replayed routers, always eligible, and load-sensitive (a near-idle fleet
+// member beats the loaded majority most of the time).
+func TestTournamentSamplingWideLeastLoaded(t *testing.T) {
+	const width = 256
+	build := func() ([]*fake, *Router) {
+		fakes := newFakes(width)
+		for i := range fakes {
+			fakes[i].load = 100
+		}
+		fakes[37].load = 1 // the one near-idle member
+		return fakes, routerOver(LeastLoaded, fakes)
+	}
+	_, ra := build()
+	fakesB, rb := build()
+	hits := 0
+	for k := 0; k < 512; k++ {
+		a := ra.RouteExcluding(Request{Key: uint64(k)}, TriedSet{})
+		b := rb.RouteExcluding(Request{Key: uint64(k)}, TriedSet{})
+		if a != b {
+			t.Fatalf("route %d: tournament diverged across identical replays: %d vs %d", k, a, b)
+		}
+		if !fakesB[a].alive {
+			t.Fatalf("route %d: picked dead member %d", k, a)
+		}
+		if a == 37 {
+			hits++
+		}
+	}
+	// P(miss) per route = (1 - 1/256)^8 ≈ 0.969 per draw set; with 8 draws
+	// the idle member is sampled in ~3% of routes by chance alone — but once
+	// sampled it always wins. Require it to win clearly more often than a
+	// uniform single pick would (512/256 = 2).
+	if hits < 8 {
+		t.Errorf("idle member won %d of 512 tournament routes; sampling is not load-sensitive", hits)
+	}
+}
+
+// TestWideRouterSkipsDeadByBitset kills a scattered third of a 256-member
+// fleet and checks every policy routes only to live members, then restarts
+// them and checks they are eligible again on the next decision.
+func TestWideRouterSkipsDeadByBitset(t *testing.T) {
+	const width = 256
+	for _, p := range []PolicyKind{RoundRobin, LeastLoaded, WeightedScore, KeyAffinity, PrefixAffinity} {
+		fakes := newFakes(width)
+		r := routerOver(p, fakes)
+		for i := 0; i < width; i += 3 {
+			fakes[i].alive = false
+		}
+		for k := 0; k < 1024; k++ {
+			got := r.Route(Request{Key: uint64(k), Prefix: uint64(k >> 4), Cost: 1})
+			if got < 0 {
+				t.Fatalf("%s: no member for key %d with two thirds alive", p, k)
+			}
+			if got%3 == 0 {
+				t.Fatalf("%s: key %d routed to dead member %d", p, k, got)
+			}
+		}
+		for i := 0; i < width; i += 3 {
+			fakes[i].alive = true
+		}
+		revived := false
+		for k := 0; k < 1024 && !revived; k++ {
+			revived = r.Route(Request{Key: uint64(k), Prefix: uint64(k >> 4), Cost: 1})%3 == 0
+		}
+		if !revived {
+			t.Errorf("%s: no restarted member was routed to across 1024 decisions", p)
+		}
 	}
 }
 
@@ -153,7 +366,7 @@ func TestRouteEmptyAndAllDead(t *testing.T) {
 	fakes := newFakes(2)
 	fakes[0].alive = false
 	fakes[1].alive = false
-	for _, p := range []PolicyKind{RoundRobin, LeastLoaded, WeightedScore, KeyAffinity} {
+	for _, p := range []PolicyKind{RoundRobin, LeastLoaded, WeightedScore, KeyAffinity, PrefixAffinity} {
 		if got := routerOver(p, fakes).Route(Request{Key: 7}); got != -1 {
 			t.Fatalf("%s routed to %d with every member dead", p, got)
 		}
@@ -166,6 +379,7 @@ func TestPolicyKindStrings(t *testing.T) {
 		LeastLoaded:    "least-loaded",
 		WeightedScore:  "weighted-score",
 		KeyAffinity:    "key-affinity",
+		PrefixAffinity: "prefix-affinity",
 		PolicyKind(99): "unknown",
 	}
 	for k, s := range want {
@@ -176,18 +390,21 @@ func TestPolicyKindStrings(t *testing.T) {
 }
 
 // TestRouteZeroAllocs pins the routing hot path at zero allocations per
-// decision for every policy — the contract BENCH_engine.json gates.
+// decision for every policy — the contract BENCH_engine.json gates — at both
+// the narrow (exhaustive-scan) and wide (bitset + tournament) widths.
 func TestRouteZeroAllocs(t *testing.T) {
-	fakes := newFakes(16)
-	for _, p := range []PolicyKind{RoundRobin, LeastLoaded, WeightedScore, KeyAffinity} {
-		r := routerOver(p, fakes)
-		key := uint64(0)
-		got := testing.AllocsPerRun(1000, func() {
-			key++
-			r.RouteExcluding(Request{Key: key, Cost: 1}, 0)
-		})
-		if got != 0 {
-			t.Errorf("%s: %.1f allocs per route, want 0", p, got)
+	for _, width := range []int{16, 256} {
+		fakes := newFakes(width)
+		for _, p := range []PolicyKind{RoundRobin, LeastLoaded, WeightedScore, KeyAffinity, PrefixAffinity} {
+			r := routerOver(p, fakes)
+			key := uint64(0)
+			got := testing.AllocsPerRun(1000, func() {
+				key++
+				r.RouteExcluding(Request{Key: key, Prefix: key >> 4, Cost: 1}, TriedSet{})
+			})
+			if got != 0 {
+				t.Errorf("width %d, %s: %.1f allocs per route, want 0", width, p, got)
+			}
 		}
 	}
 }

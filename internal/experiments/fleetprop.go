@@ -23,7 +23,9 @@ import (
 // needs two genuine executions.
 
 // FleetSubstrates lists the substrates with a fleet property harness.
-func FleetSubstrates() []string { return []string{"RPC", "LLM", "KV"} }
+// LLM-PREFIX is the LLM fleet routed by prefix affinity instead of key
+// affinity, so the routing-stability oracle covers both rendezvous policies.
+func FleetSubstrates() []string { return []string{"RPC", "LLM", "LLM-PREFIX", "KV"} }
 
 // RunFleetProperty runs the named substrate's three-member fleet under the
 // seed's workload and a seeded loss/restart plan, and reports the
@@ -34,6 +36,8 @@ func RunFleetProperty(substrate string, seed int64) proptest.FleetReport {
 		return runFleetPropertyRPC(seed)
 	case "LLM":
 		return runFleetPropertyLLM(seed)
+	case "LLM-PREFIX":
+		return runFleetPropertyLLMPrefix(seed)
 	case "KV":
 		return runFleetPropertyKV(seed)
 	}
@@ -193,6 +197,91 @@ func runFleetPropertyLLM(seed int64) proptest.FleetReport {
 	}
 	r := proptest.FleetReport{
 		Substrate: "LLM", Policy: fleet.Router().Policy().String(),
+		Seed: seed, Horizon: horizon, Members: members, Lost: 1,
+		Submitted: fleet.Submitted(), Completed: completed,
+		Refused: fleet.Refused(), Pending: pending,
+		RouteFingerprint: trace.fingerprint(),
+	}
+	r.ComputeFingerprint()
+	return r
+}
+
+// runFleetPropertyLLMPrefix is the LLM fleet under prefix-affinity routing:
+// requests carry one of 16 prompt-template identities, and placement follows
+// the template, not the session. Same loss/restart plan and oracles as the
+// key-affinity harness — in particular AffinityStable now also pins the
+// prefix policy's rendezvous stability across replays.
+func runFleetPropertyLLMPrefix(seed int64) proptest.FleetReport {
+	const (
+		members   = 3
+		templates = 16
+		loadUntil = 60 * time.Second
+		horizon   = 300 * time.Second
+	)
+	s := newScenarioSim()
+	rng := rand.New(rand.NewSource(seed))
+	fleet := cluster.NewFleet[workload.LLMRequest](cluster.PrefixAffinity)
+	servers := make([]*llmserve.Server, members)
+	targets := make([]chaos.Killable, members)
+	for i := range servers {
+		servers[i] = llmserve.New(s, memsim.NewHeap(16<<30), llmserve.DefaultConfig())
+		servers[i].SetID(i)
+		servers[i].SetMaxBatchedTokens(8000)
+		sv := servers[i]
+		fleet.Add(sv, 1, sv.Offer)
+		targets[i] = sv
+	}
+	trace := newRouteTrace(fleet)
+
+	plan := chaos.Plan{Name: "fleet-prop", Seed: seed, Faults: []chaos.Fault{
+		chaos.InstanceLoss{At: 30 * time.Second, Targets: targets, Victim: -1},
+		chaos.InstanceRestart{At: 50 * time.Second, Targets: targets, Victim: -1},
+	}}
+	plan.Arm(s, nil)
+
+	gen := workload.NewLLMGen(seed+1, workload.LLMPhase{
+		RequestsPerSec: 12, PromptMean: 120, OutputMean: 40,
+	})
+	var schedule func()
+	schedule = func() {
+		if s.Now() >= loadUntil {
+			return
+		}
+		s.After(gen.NextInterarrival(), func() {
+			if s.Now() < loadUntil {
+				req := gen.NextRequest()
+				fleet.Dispatch(cluster.Request{
+					Key:    uint64(rng.Intn(64)),
+					Prefix: uint64(rng.Intn(templates)),
+					Cost:   float64(req.Tokens()),
+				}, req)
+			}
+			schedule()
+		})
+	}
+	schedule()
+	// Evacuated requests re-enter under a template identity derived from
+	// their shape (the substrate's request type carries neither key nor
+	// prefix).
+	for i := range servers {
+		sv := servers[i]
+		sv.OnEvacuate = func(req workload.LLMRequest) {
+			fleet.Redispatch(cluster.Request{
+				Key:    uint64(req.Prompt*131 + req.Output),
+				Prefix: uint64(req.Prompt % templates),
+				Cost:   float64(req.Tokens()),
+			}, req)
+		}
+	}
+	s.RunUntil(horizon)
+
+	var completed, pending int64
+	for _, sv := range servers {
+		completed += sv.Completed()
+		pending += int64(sv.Load())
+	}
+	r := proptest.FleetReport{
+		Substrate: "LLM-PREFIX", Policy: fleet.Router().Policy().String(),
 		Seed: seed, Horizon: horizon, Members: members, Lost: 1,
 		Submitted: fleet.Submitted(), Completed: completed,
 		Refused: fleet.Refused(), Pending: pending,

@@ -69,8 +69,9 @@ type ScaleRunner interface {
 	Result() ScaleResult
 }
 
-// ScaleSubstrates lists the campaign's substrates in report order.
-var ScaleSubstrates = []string{"rpc", "llm", "kv", "dfs", "mapred"}
+// ScaleSubstrates lists the campaign's substrates in report order: the five
+// single-instance engines, then the two 256-node fleets (fleetscale.go).
+var ScaleSubstrates = []string{"rpc", "llm", "kv", "dfs", "mapred", "fleetrpc", "fleetllm"}
 
 // scaleSeed fixes every scale workload's rng. One seed is enough: each
 // runner owns a private generator.
@@ -97,6 +98,10 @@ func NewScaleRunner(substrate string) ScaleRunner {
 		return newDFSScaleRunner()
 	case "mapred":
 		return newMapredScaleRunner()
+	case "fleetrpc":
+		return newFleetRPCScaleRunner()
+	case "fleetllm":
+		return newFleetLLMScaleRunner()
 	}
 	panic(fmt.Sprintf("experiments: unknown scale substrate %q", substrate))
 }

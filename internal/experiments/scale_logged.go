@@ -47,6 +47,12 @@ func NewLoggedScaleRunner(substrate string, log *declog.Log) ScaleRunner {
 	case "mapred":
 		r := newMapredScaleRunner()
 		inner, sense = r, func() float64 { return float64(r.c.MaxDiskUsed()) }
+	case "fleetrpc":
+		r := newFleetRPCScaleRunner()
+		inner, sense = r, r.fleet.TotalLoad
+	case "fleetllm":
+		r := newFleetLLMScaleRunner()
+		inner, sense = r, r.fleet.TotalLoad
 	default:
 		panic(fmt.Sprintf("experiments: unknown scale substrate %q", substrate))
 	}

@@ -237,6 +237,7 @@ func TestHotPathRootsAnnotated(t *testing.T) {
 		"smartconf/internal/dfs":       {"Write"},
 		"smartconf/internal/mapred":    {"RunJob", "schedulerTick", "writeChunk", "reduceDone"},
 		"smartconf/internal/declog":    {"Append"},
+		"smartconf/internal/cluster":   {"Dispatch", "Redispatch", "Route", "RouteExcluding"},
 	}
 	paths := make([]string, 0, len(roots))
 	for p := range roots {

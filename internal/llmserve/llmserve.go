@@ -209,6 +209,31 @@ func (sv *Server) getSeq(req workload.LLMRequest) *seq {
 // putSeq recycles a retired sequence. Callers must hold no other reference.
 func (sv *Server) putSeq(s *seq) { sv.seqPool = append(sv.seqPool, s) }
 
+// Preallocate grows the sequence machinery to the given high-water mark:
+// seqs recycled sequences in the pool, and matching capacity in the waiting
+// queue, the continuous batch, and its reusable step snapshot. Wide fleets
+// need this — a member seeing a sliver of the fleet's load would otherwise
+// keep setting new concurrency watermarks (and allocating for them) for
+// millions of requests, which the whole-run zero-allocation gate forbids.
+func (sv *Server) Preallocate(seqs int) {
+	for len(sv.seqPool) < seqs {
+		sv.seqPool = append(sv.seqPool, &seq{})
+	}
+	if cap(sv.waiting) < seqs {
+		w := make([]*seq, len(sv.waiting), seqs)
+		copy(w, sv.waiting)
+		sv.waiting = w
+	}
+	if cap(sv.running) < seqs {
+		r := make([]*seq, len(sv.running), seqs)
+		copy(r, sv.running)
+		sv.running = r
+	}
+	if cap(sv.stepBatch) < seqs {
+		sv.stepBatch = make([]*seq, 0, seqs)
+	}
+}
+
 // popWaiting removes and returns the admission queue's head.
 func (sv *Server) popWaiting() *seq {
 	s := sv.waiting[sv.waitingHead]

@@ -71,7 +71,10 @@ func NewMeter(window time.Duration) *Meter {
 	if bucket < time.Millisecond {
 		bucket = time.Millisecond
 	}
-	return &Meter{window: window, bucket: bucket}
+	// At most window/bucket+1 buckets are ever live (expire runs on every
+	// Mark), so pre-sizing a few past that ceiling means Mark never grows
+	// the slice — the meter is allocation-free from its first event.
+	return &Meter{window: window, bucket: bucket, buckets: make([]meterBucket, 0, 24)}
 }
 
 // Mark records n events at virtual time now.

@@ -181,6 +181,45 @@ func New(s *sim.Simulation, heap *memsim.Heap, cfg Config) *Server {
 	return sv
 }
 
+// Preallocate grows the per-request buffers to the given high-water marks —
+// the call queue, the response queue, and the in-flight slot table with its
+// recycled batch slabs — so a steady-state run never grows them. Wide fleets
+// need this: each member sees only a sliver of the offered load, so the
+// organic watermark growth that a single busy server finishes in its first
+// few thousand requests would otherwise trickle on for millions of requests
+// across 256 cold pools, and the whole-run zero-allocation gate would catch
+// the stragglers.
+func (sv *Server) Preallocate(queueCap, respCap, batches int) {
+	if cap(sv.queue) < queueCap {
+		q := make([]call, len(sv.queue), queueCap)
+		copy(q, sv.queue)
+		sv.queue = q
+	}
+	if cap(sv.respQueue) < respCap {
+		r := make([]int64, len(sv.respQueue), respCap)
+		copy(r, sv.respQueue)
+		sv.respQueue = r
+	}
+	if cap(sv.slots) < batches {
+		slots := make([][]call, len(sv.slots), batches)
+		copy(slots, sv.slots)
+		sv.slots = slots
+		seq := make([]uint64, len(sv.slotSeq), batches)
+		copy(seq, sv.slotSeq)
+		sv.slotSeq = seq
+		free := make([]int, len(sv.freeSlots), batches)
+		copy(free, sv.freeSlots)
+		sv.freeSlots = free
+	}
+	capHint := sv.cfg.MaxBatch
+	if capHint < 1 {
+		capHint = 1
+	}
+	for len(sv.batchPool) < batches {
+		sv.batchPool = append(sv.batchPool, make([]call, 0, capHint))
+	}
+}
+
 // SetMaxQueue sets the HB3813 knob: the maximum number of queued calls.
 // Values below zero clamp to zero. The queue may transiently exceed a
 // lowered bound (§4.2: temporary inconsistency between C and its deputy is
